@@ -1,0 +1,257 @@
+// Package flexsnoop is a simulator for Flexible Snooping — the adaptive
+// forwarding and filtering snoop algorithms for embedded-ring
+// multiprocessors of Strauss, Shen and Torrellas (ISCA 2006).
+//
+// The package simulates a multi-CMP shared-memory machine whose coherence
+// transactions travel on unidirectional rings logically embedded in the
+// network (Table 4's 8-CMP, 32-core system by default), under any of the
+// paper's snooping algorithms: the Lazy, Eager and Oracle baselines and
+// the adaptive Subset, SupersetCon, SupersetAgg and Exact algorithms, plus
+// the dynamic Agg/Con switcher the paper envisions.
+//
+// Quick start:
+//
+//	res, err := flexsnoop.Run(flexsnoop.SupersetAgg, "barnes", flexsnoop.Options{})
+//	fmt.Println(res.Cycles, res.Stats.SnoopsPerReadRequest(), res.EnergyNJ)
+//
+// The experiment drivers in this package regenerate every table and figure
+// of the paper's evaluation; see RunMatrix, RunSensitivity, Table1 and
+// DesignSpace.
+package flexsnoop
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/machine"
+	"flexsnoop/internal/sim"
+	"flexsnoop/internal/trace"
+	"flexsnoop/internal/workload"
+)
+
+// Algorithm identifies a snooping algorithm.
+type Algorithm = config.Algorithm
+
+// The snooping algorithms of the paper (Sections 3-4) plus the dynamic
+// extension of Section 6.1.5.
+const (
+	Lazy            = config.Lazy
+	Eager           = config.Eager
+	Oracle          = config.Oracle
+	Subset          = config.Subset
+	SupersetCon     = config.SupersetCon
+	SupersetAgg     = config.SupersetAgg
+	Exact           = config.Exact
+	DynamicSuperset = config.DynamicSuperset
+)
+
+// Algorithms returns the seven static algorithms in paper order.
+func Algorithms() []Algorithm { return config.Algorithms() }
+
+// ParseAlgorithm maps an algorithm name to its identifier.
+func ParseAlgorithm(name string) (Algorithm, error) { return config.ParseAlgorithm(name) }
+
+// PredictorConfig sizes a supplier predictor; the Sub512...Exa8k presets of
+// Section 5.2 are exposed via Predictors.
+type PredictorConfig = config.PredictorConfig
+
+// Predictors returns the named Section 5.2 predictor configurations.
+func Predictors() map[string]PredictorConfig {
+	out := map[string]PredictorConfig{}
+	for _, p := range []PredictorConfig{
+		config.Sub512(), config.Sub2k(), config.Sub8k(),
+		config.SupY512(), config.SupY2k(), config.SupN2k(),
+		config.Exa512(), config.Exa2k(), config.Exa8k(),
+	} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// Result is the outcome of one simulation.
+type Result = machine.Result
+
+// Profile is a synthetic workload description.
+type Profile = workload.Profile
+
+// Workloads lists the evaluation's workload names: the 11 SPLASH-2
+// applications, "specjbb" and "specweb".
+func Workloads() []string {
+	var names []string
+	for _, p := range workload.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// WorkloadByName returns a named workload profile.
+func WorkloadByName(name string) (Profile, error) { return workload.ByName(name) }
+
+// Options tunes one simulation run.
+type Options struct {
+	// OpsPerCore bounds each core's memory-reference stream (default
+	// 3000).
+	OpsPerCore uint64
+	// Seed selects the deterministic workload streams (default 1).
+	Seed int64
+	// Predictor overrides the algorithm's default (Section 6.1)
+	// supplier predictor.
+	Predictor *PredictorConfig
+	// CheckInvariants arms the coherence checker during the run.
+	CheckInvariants bool
+	// DisablePrefetch turns off the prefetch-on-snoop heuristic.
+	DisablePrefetch bool
+	// NumRings overrides the number of embedded rings (default 2).
+	NumRings int
+	// GovernorBudgetNJPerKCycle enables the dynamic Agg/Con governor
+	// (DynamicSuperset runs only).
+	GovernorBudgetNJPerKCycle float64
+	// WarmupCycles discards statistics and energy accumulated before
+	// this cycle, so results cover only the steady-state window.
+	WarmupCycles uint64
+	// AlgorithmsPerNode gives each CMP node its own snooping policy — a
+	// heterogeneous ring (the paper's Table 2 machinery explicitly
+	// supports messages split and recombined multiple times as nodes
+	// choose different primitives). Must have one entry per CMP. All
+	// nodes share the predictor configuration of the labelled algorithm.
+	AlgorithmsPerNode []Algorithm
+	// Tweak, when non-nil, receives the machine configuration for
+	// arbitrary adjustments before the run.
+	Tweak func(*MachineConfig)
+}
+
+// MachineConfig is the full architectural parameter set (Table 4).
+type MachineConfig = config.MachineConfig
+
+// DefaultMachine returns the Table 4 machine configuration.
+func DefaultMachine() MachineConfig { return config.DefaultMachine() }
+
+// Run simulates one (algorithm, workload) pair.
+func Run(alg Algorithm, workloadName string, opts Options) (Result, error) {
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunProfile(alg, prof, opts)
+}
+
+// RunProfile simulates one algorithm on a custom workload profile.
+func RunProfile(alg Algorithm, prof Profile, opts Options) (Result, error) {
+	exp, err := buildExperiment(alg, prof, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return machine.Run(exp)
+}
+
+func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experiment, error) {
+	exp := machine.New(alg, prof)
+	if opts.OpsPerCore > 0 {
+		exp.OpsPerCore = opts.OpsPerCore
+	}
+	if opts.Seed != 0 {
+		exp.Seed = opts.Seed
+	}
+	if opts.Predictor != nil {
+		exp.Predictor = *opts.Predictor
+	}
+	exp.CheckInvariants = opts.CheckInvariants
+	if opts.DisablePrefetch {
+		exp.Machine.PrefetchOnSnoop = false
+	}
+	if opts.NumRings > 0 {
+		exp.Machine.NumRings = opts.NumRings
+	}
+	if opts.GovernorBudgetNJPerKCycle > 0 {
+		exp.Governor = machine.DefaultGovernor(opts.GovernorBudgetNJPerKCycle)
+	}
+	if len(opts.AlgorithmsPerNode) > 0 {
+		exp.AlgorithmPerNode = opts.AlgorithmsPerNode
+	}
+	if opts.WarmupCycles > 0 {
+		exp.WarmupCycles = sim.Time(opts.WarmupCycles)
+	}
+	if opts.Tweak != nil {
+		opts.Tweak(&exp.Machine)
+	}
+	if err := exp.Machine.Validate(); err != nil {
+		return machine.Experiment{}, err
+	}
+	return exp, nil
+}
+
+// WriteTraceFile records a workload's per-core reference streams to a
+// binary trace file (the paper's trace-driven mode for SPEC workloads).
+// A ".gz" suffix enables gzip compression.
+func WriteTraceFile(path, workloadName string, opsPerCore uint64, seed int64) error {
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return err
+	}
+	cores := config.DefaultMachine().NumCMPs * prof.Class.CoresPerCMP()
+	streams := make([][]workload.Op, cores)
+	for g := 0; g < cores; g++ {
+		streams[g] = trace.Record(workload.NewGenerator(prof, g, opsPerCore, seed))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := trace.Write(w, streams); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// RunTraceFile replays a trace file under an algorithm. The per-CMP core
+// count is inferred from the trace's stream count.
+func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return Result{}, fmt.Errorf("flexsnoop: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	streams, err := trace.Read(r)
+	if err != nil {
+		return Result{}, err
+	}
+	m := config.DefaultMachine()
+	if len(streams)%m.NumCMPs != 0 || len(streams) == 0 {
+		return Result{}, fmt.Errorf("flexsnoop: %d trace streams do not map onto %d CMPs",
+			len(streams), m.NumCMPs)
+	}
+	prof := workload.Profile{Name: "trace:" + path, PrivateLines: 1}
+	exp, err := buildExperiment(alg, prof, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	exp.Machine.CoresPerCMP = len(streams) / m.NumCMPs
+	exp.Traces = streams
+	exp.OpsPerCore = 0
+	return machine.Run(exp)
+}

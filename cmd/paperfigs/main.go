@@ -1,0 +1,329 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section (Tables 1 and 3, Figures 4, 6, 7, 8, 9, 10 and 11)
+// from simulation, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	paperfigs [-exp all|table1|table3|table4|fig4|fig6|fig7|fig8|fig9|fig10|fig11|summary]
+//	          [-ops N] [-seed N] [-apps a,b,c] [-csv dir] [-svg dir] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"flexsnoop"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/stats"
+)
+
+var (
+	expFlag  = flag.String("exp", "all", "experiment to regenerate")
+	opsFlag  = flag.Uint64("ops", 2000, "memory references per core")
+	seedFlag = flag.Int64("seed", 1, "workload seed")
+	appsFlag = flag.String("apps", "", "comma-separated SPLASH-2 subset (default: all 11)")
+	verbose  = flag.Bool("v", false, "print per-run progress")
+	csvDir   = flag.String("csv", "", "also write <dir>/figN.csv files")
+	svgDir   = flag.String("svg", "", "also write <dir>/figN.svg bar charts")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(*expFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func figOpts() flexsnoop.FigureOptions {
+	o := flexsnoop.FigureOptions{OpsPerCore: *opsFlag, Seed: *seedFlag}
+	if *appsFlag != "" {
+		o.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *verbose {
+		o.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	return o
+}
+
+func run(exp string) error {
+	needMatrix := map[string]bool{"all": true, "fig4": true, "fig6": true,
+		"fig7": true, "fig8": true, "fig9": true, "table3": true, "summary": true}
+	var m *flexsnoop.Matrix
+	if needMatrix[exp] {
+		var err error
+		fmt.Fprintln(os.Stderr, "running algorithm x workload matrix...")
+		m, err = flexsnoop.RunMatrix(figOpts())
+		if err != nil {
+			return err
+		}
+	}
+
+	switch exp {
+	case "all":
+		for _, e := range []string{"table4", "table1", "table3", "fig4", "fig6", "fig7", "fig8", "fig9", "summary"} {
+			if err := emit(e, m); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(os.Stderr, "running predictor sensitivity sweep...")
+		return sensitivity()
+	case "fig10", "fig11":
+		return sensitivity()
+	default:
+		return emit(exp, m)
+	}
+}
+
+func emit(exp string, m *flexsnoop.Matrix) error {
+	switch exp {
+	case "table1":
+		t := stats.NewTable("Table 1: baseline snooping algorithms (analytical, N=8)",
+			"Algorithm", "Unloaded latency (cycles)", "Snoop ops/request", "Messages/request")
+		for _, r := range flexsnoop.Table1() {
+			t.AddRowf(r.Algorithm.String(), r.Latency, r.SnoopOps, r.Messages)
+		}
+		fmt.Println(t)
+	case "table3":
+		fp, fn := 0.3, 0.02
+		if m != nil {
+			fp, fn = m.MeasuredRates()
+		}
+		t := stats.NewTable(
+			fmt.Sprintf("Table 3: Flexible Snooping algorithms (FP=%.3f, FN=%.3f measured)", fp, fn),
+			"Algorithm", "FalsePos?", "FalseNeg?", "On positive", "On negative",
+			"Latency", "Snoops/req", "Msgs/req")
+		for _, r := range flexsnoop.Table3(fp, fn) {
+			t.AddRowf(r.Algorithm.String(), r.FalsePositives, r.FalseNegatives,
+				r.OnPositive.String(), r.OnNegative.String(), r.Latency, r.SnoopOps, r.Messages)
+		}
+		fmt.Println(t)
+	case "table4":
+		mc := config.DefaultMachine()
+		t := stats.NewTable("Table 4: architectural parameters (defaults)", "Parameter", "Value")
+		t.AddRowf("CMPs", mc.NumCMPs)
+		t.AddRowf("Cores/CMP (SPLASH-2)", mc.CoresPerCMP)
+		t.AddRowf("L1", fmt.Sprintf("%dKB/%d-way/%dB, RT %d cyc", mc.L1.SizeBytes>>10, mc.L1.Assoc, mc.L1.LineBytes, mc.L1.RoundTripCycles))
+		t.AddRowf("L2", fmt.Sprintf("%dKB/%d-way/%dB, RT %d cyc", mc.L2.SizeBytes>>10, mc.L2.Assoc, mc.L2.LineBytes, mc.L2.RoundTripCycles))
+		t.AddRowf("Embedded rings", mc.NumRings)
+		t.AddRowf("Ring link latency", fmt.Sprintf("%d cyc", mc.RingLinkCycles))
+		t.AddRowf("CMP bus access + snoop", fmt.Sprintf("%d cyc", mc.CMPSnoopCycles))
+		t.AddRowf("Memory RT local / remote+pf / remote", fmt.Sprintf("%d / %d / %d cyc",
+			mc.MemLocalRTCycles, mc.MemRemoteRTPrefetchCycles, mc.MemRemoteRTNoPrefetchCycle))
+		fmt.Println(t)
+	case "fig4":
+		fp, fn := m.MeasuredRates()
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 4: design space (FP=%.3f, FN=%.3f measured)", fp, fn),
+			"Algorithm", "Unloaded latency (cycles)", "Snoop ops/request")
+		for _, p := range flexsnoop.DesignSpace(fp, fn) {
+			t.AddRowf(p.Algorithm.String(), p.Latency, p.SnoopOps)
+		}
+		fmt.Println(t)
+	case "fig6":
+		cv := m.Figure6()
+		printClassValues("Figure 6: snoop operations per read snoop request (absolute)", cv)
+		writeCSV("fig6", cv)
+		writeSVG("fig6", "Figure 6: snoop operations per read snoop request", "snooped CMPs", cv)
+	case "fig7":
+		cv, err := m.Figure7()
+		if err != nil {
+			return err
+		}
+		printClassValues("Figure 7: read snoop requests+replies in the ring (normalised to Lazy)", cv)
+		writeCSV("fig7", cv)
+		writeSVG("fig7", "Figure 7: read snoop messages in the ring", "normalised to Lazy", cv)
+	case "fig8":
+		cv, err := m.Figure8()
+		if err != nil {
+			return err
+		}
+		printClassValues("Figure 8: execution time (normalised to Lazy)", cv)
+		writeCSV("fig8", cv)
+		writeSVG("fig8", "Figure 8: execution time", "normalised to Lazy", cv)
+	case "fig9":
+		cv, err := m.Figure9()
+		if err != nil {
+			return err
+		}
+		printClassValues("Figure 9: snoop energy (normalised to Lazy)", cv)
+		writeCSV("fig9", cv)
+		writeSVG("fig9", "Figure 9: snoop energy", "normalised to Lazy", cv)
+	case "summary":
+		return summary(m)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// writeCSV exports one figure's values when -csv is set.
+func writeCSV(name string, cvs []flexsnoop.ClassValues) {
+	if *csvDir == "" {
+		return
+	}
+	rows := map[string]map[string]float64{}
+	for _, cv := range cvs {
+		for alg, v := range cv.Values {
+			if rows[alg] == nil {
+				rows[alg] = map[string]float64{}
+			}
+			rows[alg][cv.Class] = v
+		}
+	}
+	path := fmt.Sprintf("%s/%s.csv", *csvDir, name)
+	if err := os.WriteFile(path, []byte(stats.CSV("algorithm", rows)), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs: csv:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
+// writeSVG exports one figure as a grouped bar chart when -svg is set.
+func writeSVG(name, title, ylabel string, cvs []flexsnoop.ClassValues) {
+	if *svgDir == "" {
+		return
+	}
+	c := stats.NewSVGBarChart(title, ylabel)
+	for _, cv := range cvs {
+		for _, alg := range flexsnoop.Algorithms() {
+			if v, ok := cv.Values[alg.String()]; ok {
+				c.Set(cv.Class, alg.String(), v)
+			}
+		}
+	}
+	path := fmt.Sprintf("%s/%s.svg", *svgDir, name)
+	if err := os.WriteFile(path, []byte(c.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs: svg:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+}
+
+// printClassValues renders one figure: rows = algorithms, cols = classes.
+func printClassValues(title string, cvs []flexsnoop.ClassValues) {
+	cols := []string{"Algorithm"}
+	for _, cv := range cvs {
+		cols = append(cols, cv.Class)
+	}
+	t := stats.NewTable(title, cols...)
+	for _, alg := range flexsnoop.Algorithms() {
+		row := []any{alg.String()}
+		for _, cv := range cvs {
+			if v, ok := cv.Values[alg.String()]; ok {
+				row = append(row, v)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRowf(row...)
+	}
+	fmt.Println(t)
+}
+
+// summary prints the paper's headline claims against measured values.
+func summary(m *flexsnoop.Matrix) error {
+	fig8, err := m.Figure8()
+	if err != nil {
+		return err
+	}
+	aggSave, err := m.EnergySavingsVsEager(flexsnoop.SupersetAgg)
+	if err != nil {
+		return err
+	}
+	conVsAgg := map[string]float64{}
+	fig9, err := m.Figure9()
+	if err != nil {
+		return err
+	}
+	slowdown := map[string]float64{}
+	for i, cv := range fig9 {
+		agg := cv.Values[flexsnoop.SupersetAgg.String()]
+		con := cv.Values[flexsnoop.SupersetCon.String()]
+		if agg > 0 {
+			conVsAgg[cv.Class] = 1 - con/agg
+		}
+		e8 := fig8[i].Values
+		if a := e8[flexsnoop.SupersetAgg.String()]; a > 0 {
+			slowdown[cv.Class] = e8[flexsnoop.SupersetCon.String()]/a - 1
+		}
+	}
+
+	t := stats.NewTable("Headline claims (paper -> measured)", "Claim", "Paper", "SPLASH-2", "SPECjbb", "SPECweb")
+	addClaim := func(name, paper string, vals map[string]float64, pct bool) {
+		row := []any{name, paper}
+		for _, c := range []string{"SPLASH-2", "SPECjbb", "SPECweb"} {
+			v := vals[c]
+			if pct {
+				row = append(row, fmt.Sprintf("%.1f%%", v*100))
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", v))
+			}
+		}
+		t.AddRowf(row...)
+	}
+	speedup := map[string]float64{}
+	for _, cv := range fig8 {
+		speedup[cv.Class] = 1 - cv.Values[flexsnoop.SupersetAgg.String()]
+	}
+	addClaim("SupersetAgg speedup vs Lazy", "14% / 13% / 6%", speedup, true)
+	addClaim("SupersetAgg energy saving vs Eager", "14% / 17% / 9%", aggSave, true)
+	addClaim("SupersetCon energy saving vs SupersetAgg", "36-42%", conVsAgg, true)
+	addClaim("SupersetCon slowdown vs SupersetAgg", "3-6%", slowdown, true)
+	fmt.Println(t)
+	return nil
+}
+
+// sensitivity prints Figures 10 and 11.
+func sensitivity() error {
+	s, err := flexsnoop.RunSensitivity(figOpts())
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("Figure 10: execution time vs predictor size (normalised to the middle configuration)",
+		"Algorithm", "Predictor", "SPLASH-2", "SPECjbb", "SPECweb")
+	type key struct{ alg, pred string }
+	cells := map[key]map[string]float64{}
+	var order []key
+	for _, c := range s.Cells {
+		k := key{c.Algorithm.String(), c.Predictor}
+		if cells[k] == nil {
+			cells[k] = map[string]float64{}
+			order = append(order, k)
+		}
+		cells[k][c.Class] = c.CyclesNorm
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].alg != order[j].alg {
+			return order[i].alg < order[j].alg
+		}
+		return order[i].pred < order[j].pred
+	})
+	for _, k := range order {
+		t.AddRowf(k.alg, k.pred, cells[k]["SPLASH-2"], cells[k]["SPECjbb"], cells[k]["SPECweb"])
+	}
+	fmt.Println(t)
+
+	t11 := stats.NewTable("Figure 11: supplier predictor accuracy (fractions of read-snoop predictions)",
+		"Predictor", "Class", "TruePos", "TrueNeg", "FalsePos", "FalseNeg")
+	for _, cl := range []string{"SPLASH-2", "SPECjbb", "SPECweb"} {
+		if p, ok := s.Perfect[cl]; ok {
+			t11.AddRowf("Perfect", cl, p[0], p[1], p[2], p[3])
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cells {
+		id := c.Predictor + "/" + c.Class + "/" + c.Algorithm.String()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		t11.AddRowf(fmt.Sprintf("%s(%s)", c.Predictor, c.Algorithm), c.Class,
+			c.TruePos, c.TrueNeg, c.FalsePos, c.FalseNeg)
+	}
+	fmt.Println(t11)
+	return nil
+}

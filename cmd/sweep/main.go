@@ -1,0 +1,70 @@
+// Command sweep runs the supplier-predictor sensitivity study of Section
+// 6.2 (Figures 10 and 11): every predictive algorithm with each of its
+// three predictor sizes/organisations, reporting execution time normalised
+// to the main (Section 6.1) configuration and the prediction accuracy
+// breakdown.
+//
+// Usage:
+//
+//	sweep [-ops 2000] [-seed 1] [-apps a,b,c] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"flexsnoop"
+	"flexsnoop/internal/stats"
+)
+
+var (
+	opsFlag  = flag.Uint64("ops", 2000, "memory references per core")
+	seedFlag = flag.Int64("seed", 1, "workload seed")
+	appsFlag = flag.String("apps", "", "comma-separated SPLASH-2 subset")
+	verbose  = flag.Bool("v", false, "per-run progress")
+)
+
+func main() {
+	flag.Parse()
+	opts := flexsnoop.FigureOptions{OpsPerCore: *opsFlag, Seed: *seedFlag}
+	if *appsFlag != "" {
+		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	s, err := flexsnoop.RunSensitivity(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	sort.Slice(s.Cells, func(i, j int) bool {
+		a, b := s.Cells[i], s.Cells[j]
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Predictor < b.Predictor
+	})
+	t := stats.NewTable("Figure 10: predictor sensitivity (execution time, normalised to the Section 6.1 configuration)",
+		"Algorithm", "Class", "Predictor", "Normalised time", "TP", "TN", "FP", "FN")
+	for _, c := range s.Cells {
+		t.AddRowf(c.Algorithm.String(), c.Class, c.Predictor, c.CyclesNorm,
+			c.TruePos, c.TrueNeg, c.FalsePos, c.FalseNeg)
+	}
+	fmt.Println(t)
+
+	t2 := stats.NewTable("Figure 11: perfect predictor", "Class", "TP", "TN", "FP", "FN")
+	for _, cl := range []string{"SPLASH-2", "SPECjbb", "SPECweb"} {
+		if p, ok := s.Perfect[cl]; ok {
+			t2.AddRowf(cl, p[0], p[1], p[2], p[3])
+		}
+	}
+	fmt.Println(t2)
+}

@@ -1,0 +1,116 @@
+// alternatives measures the Section 2.1 trade-offs the paper argues
+// qualitatively: the embedded ring against a directory protocol (an
+// indirection in every transaction) and a shared broadcast bus (one
+// transaction per arbitration slot, every cache snooping everything).
+//
+//	go run ./examples/alternatives
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexsnoop"
+	"flexsnoop/internal/altproto"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/cpu"
+	"flexsnoop/internal/sim"
+	"flexsnoop/internal/stats"
+	"flexsnoop/internal/workload"
+)
+
+const ops = 2500
+
+func main() {
+	prof, err := workload.ByName("barnes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := stats.NewTable("coherence approaches on a barnes-like workload (32 cores)",
+		"Approach", "Cycles", "Avg read-miss latency", "Coherence tag lookups", "Notes")
+
+	// Embedded ring with the paper's choice algorithm.
+	ring, err := flexsnoop.Run(flexsnoop.SupersetAgg, "barnes", flexsnoop.Options{OpsPerCore: ops})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRowf("embedded ring (SupersetAgg)", fmt.Sprintf("%d", ring.Cycles),
+		ring.Stats.AvgReadMissLatency(),
+		fmt.Sprintf("%d", ring.Stats.ReadSnoopOps+ring.Stats.WriteSnoopOps),
+		"snoops filtered by supplier predictor")
+
+	lazy, err := flexsnoop.Run(flexsnoop.Lazy, "barnes", flexsnoop.Options{OpsPerCore: ops})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.AddRowf("embedded ring (Lazy)", fmt.Sprintf("%d", lazy.Cycles),
+		lazy.Stats.AvgReadMissLatency(),
+		fmt.Sprintf("%d", lazy.Stats.ReadSnoopOps+lazy.Stats.WriteSnoopOps),
+		"serial snoop per hop")
+
+	// Directory.
+	dcy, dst := runAlt(prof, func(k *sim.Kernel, cfg config.MachineConfig) alt {
+		d, err := altproto.NewDirectory(k, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	})
+	t.AddRowf("directory (full map)", fmt.Sprintf("%d", dcy), dst.AvgReadMissLatency(),
+		fmt.Sprintf("%d", dst.SnoopOps),
+		fmt.Sprintf("%d 3-hop indirections", dst.Indirections))
+
+	// Broadcast bus.
+	bcy, bst := runAlt(prof, func(k *sim.Kernel, cfg config.MachineConfig) alt {
+		b, err := altproto.NewBroadcastBus(k, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	})
+	t.AddRowf("broadcast bus", fmt.Sprintf("%d", bcy), bst.AvgReadMissLatency(),
+		fmt.Sprintf("%d", bst.SnoopOps),
+		fmt.Sprintf("%d cycles queued on the bus", bst.BusWaitCycles))
+
+	fmt.Println(t)
+	fmt.Println("The paper's Section 2.1 claims, measured: the directory pays an")
+	fmt.Println("indirection through the home on cache-to-cache transfers; the bus")
+	fmt.Println("makes every cache snoop every transaction and queues under load;")
+	fmt.Println("the embedded ring with adaptive filtering snoops a fraction of the")
+	fmt.Println("caches with no directory state and no global arbitration.")
+}
+
+// alt is the common surface of the two alternative engines.
+type alt interface {
+	cpu.Memory
+	Stats() altproto.Stats
+}
+
+// runAlt drives one alternative engine with the same cores and workload.
+func runAlt(prof workload.Profile, mk func(*sim.Kernel, config.MachineConfig) alt) (sim.Time, altproto.Stats) {
+	kern := sim.NewKernel()
+	cfg := config.DefaultMachine()
+	e := mk(kern, cfg)
+	var cores []*cpu.Core
+	for n := 0; n < cfg.NumCMPs; n++ {
+		for c := 0; c < cfg.CoresPerCMP; c++ {
+			g := n*cfg.CoresPerCMP + c
+			src := workload.NewGenerator(prof, g, ops, 1)
+			cores = append(cores, cpu.NewMLP(kern, e, n, c, cfg.WriteBufferEntries, cfg.MaxOutstandingLoads, src, nil))
+		}
+	}
+	for _, c := range cores {
+		c.Start()
+	}
+	kern.RunAll()
+	var finish sim.Time
+	for _, c := range cores {
+		if !c.Finished() {
+			log.Fatal("core never finished")
+		}
+		if c.FinishedAt > finish {
+			finish = c.FinishedAt
+		}
+	}
+	return finish, e.Stats()
+}

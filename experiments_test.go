@@ -1,0 +1,301 @@
+package flexsnoop_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flexsnoop"
+)
+
+// smallMatrix runs a reduced matrix shared by the figure tests.
+func smallMatrix(t *testing.T) *flexsnoop.Matrix {
+	t.Helper()
+	m, err := flexsnoop.RunMatrix(flexsnoop.FigureOptions{
+		OpsPerCore: 700,
+		Apps:       []string{"barnes", "fft"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func value(t *testing.T, cvs []flexsnoop.ClassValues, class string, alg flexsnoop.Algorithm) float64 {
+	t.Helper()
+	for _, cv := range cvs {
+		if cv.Class == class {
+			v, ok := cv.Values[alg.String()]
+			if !ok {
+				t.Fatalf("%s missing %v", class, alg)
+			}
+			return v
+		}
+	}
+	t.Fatalf("class %s missing", class)
+	return 0
+}
+
+func TestMatrixFigureShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	m := smallMatrix(t)
+
+	// Figure 6: Eager snoops all 7 remote CMPs on every request; Lazy
+	// sits in between; Oracle and Exact snoop at most once; SPECjbb's
+	// Lazy approaches 7 (few suppliers).
+	fig6 := m.Figure6()
+	for _, class := range m.Classes() {
+		eager := value(t, fig6, class, flexsnoop.Eager)
+		if math.Abs(eager-7) > 0.05 {
+			t.Errorf("%s: Eager snoops %.2f, want ~7", class, eager)
+		}
+		lazy := value(t, fig6, class, flexsnoop.Lazy)
+		if lazy >= eager+0.01 {
+			t.Errorf("%s: Lazy %.2f >= Eager %.2f", class, lazy, eager)
+		}
+		for _, a := range []flexsnoop.Algorithm{flexsnoop.Oracle, flexsnoop.Exact} {
+			if v := value(t, fig6, class, a); v > 1.05 {
+				t.Errorf("%s: %v snoops %.2f, want <= ~1", class, a, v)
+			}
+		}
+		for _, a := range []flexsnoop.Algorithm{flexsnoop.SupersetCon, flexsnoop.SupersetAgg} {
+			if v := value(t, fig6, class, a); v >= lazy {
+				t.Errorf("%s: %v snoops %.2f not below Lazy %.2f", class, a, v, lazy)
+			}
+		}
+	}
+	if jbbLazy := value(t, fig6, "SPECjbb", flexsnoop.Lazy); jbbLazy < 6 {
+		t.Errorf("SPECjbb Lazy snoops %.2f, want close to 7 (paper)", jbbLazy)
+	}
+
+	// Figure 7: Eager approaches 2x Lazy's ring messages; SupersetCon
+	// and Exact match Lazy (single combined message).
+	fig7, err := m.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range m.Classes() {
+		eager := value(t, fig7, class, flexsnoop.Eager)
+		if eager < 1.5 || eager > 2.0 {
+			t.Errorf("%s: Eager messages %.2f x Lazy, want ~1.9", class, eager)
+		}
+		for _, a := range []flexsnoop.Algorithm{flexsnoop.SupersetCon, flexsnoop.Exact, flexsnoop.Oracle} {
+			if v := value(t, fig7, class, a); math.Abs(v-1) > 0.12 {
+				t.Errorf("%s: %v messages %.2f x Lazy, want ~1", class, a, v)
+			}
+		}
+	}
+
+	// Figure 8: Lazy is the slowest; SupersetAgg tracks Oracle within a
+	// few percent and beats Lazy.
+	fig8, err := m.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range m.Classes() {
+		agg := value(t, fig8, class, flexsnoop.SupersetAgg)
+		oracle := value(t, fig8, class, flexsnoop.Oracle)
+		if agg >= 1 {
+			t.Errorf("%s: SupersetAgg %.3f not faster than Lazy", class, agg)
+		}
+		if agg < oracle-0.02 {
+			t.Errorf("%s: SupersetAgg %.3f beats the Oracle bound %.3f", class, agg, oracle)
+		}
+	}
+
+	// Figure 9: Eager costs far more energy than Lazy; SupersetCon is
+	// the cheapest of the practical algorithms and well below Eager.
+	fig9, err := m.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range m.Classes() {
+		eager := value(t, fig9, class, flexsnoop.Eager)
+		con := value(t, fig9, class, flexsnoop.SupersetCon)
+		agg := value(t, fig9, class, flexsnoop.SupersetAgg)
+		if eager < 1.4 {
+			t.Errorf("%s: Eager energy %.2f x Lazy, want >> 1 (paper ~1.8)", class, eager)
+		}
+		if con >= agg {
+			t.Errorf("%s: SupersetCon energy %.2f >= SupersetAgg %.2f", class, con, agg)
+		}
+		if agg >= eager {
+			t.Errorf("%s: SupersetAgg energy %.2f >= Eager %.2f (paper: 9-17%% less)", class, agg, eager)
+		}
+	}
+
+	// Headline helper.
+	savings, err := m.EnergySavingsVsEager(flexsnoop.SupersetCon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class, s := range savings {
+		if s < 0.2 {
+			t.Errorf("%s: SupersetCon saves only %.1f%% vs Eager (paper ~47%%)", class, s*100)
+		}
+	}
+}
+
+func TestMeasuredRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is seconds-long")
+	}
+	m, err := flexsnoop.RunMatrix(flexsnoop.FigureOptions{
+		OpsPerCore: 500,
+		Apps:       []string{"barnes"},
+		Algorithms: []flexsnoop.Algorithm{flexsnoop.Lazy, flexsnoop.SupersetCon},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, fn := m.MeasuredRates()
+	if fp <= 0 {
+		t.Error("superset predictor produced no false positives (suspicious)")
+	}
+	if fn != 0 {
+		t.Errorf("superset predictor produced false negatives (%.4f): incorrect execution", fn)
+	}
+}
+
+func TestTable1Exported(t *testing.T) {
+	rows := flexsnoop.Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	if rows[0].Algorithm != flexsnoop.Lazy || rows[0].SnoopOps != 3.5 {
+		t.Errorf("row 0 = %+v, want Lazy with (N-1)/2 snoops", rows[0])
+	}
+}
+
+func TestTable3Exported(t *testing.T) {
+	rows := flexsnoop.Table3(0.3, 0.05)
+	if len(rows) != 4 {
+		t.Fatalf("Table3 rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Algorithm.String()] = true
+	}
+	for _, want := range []string{"Subset", "SupersetCon", "SupersetAgg", "Exact"} {
+		if !names[want] {
+			t.Errorf("Table3 missing %s", want)
+		}
+	}
+}
+
+func TestDesignSpaceExported(t *testing.T) {
+	pts := flexsnoop.DesignSpace(0.3, 0.05)
+	if len(pts) != 7 {
+		t.Fatalf("DesignSpace points = %d, want 7", len(pts))
+	}
+}
+
+func TestFigureOptionsValidation(t *testing.T) {
+	_, err := flexsnoop.RunMatrix(flexsnoop.FigureOptions{
+		OpsPerCore: 100, Apps: []string{"specjbb"}, // not a SPLASH-2 app
+	})
+	if err == nil || !strings.Contains(err.Error(), "SPLASH-2") {
+		t.Errorf("non-SPLASH app accepted into Apps: %v", err)
+	}
+	_, err = flexsnoop.RunMatrix(flexsnoop.FigureOptions{
+		OpsPerCore: 100, Apps: []string{"unknown-app"},
+	})
+	if err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSensitivitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep is seconds-long")
+	}
+	s, err := flexsnoop.RunSensitivity(flexsnoop.FigureOptions{
+		OpsPerCore: 500,
+		Apps:       []string{"barnes"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 algorithms x 3 predictors x 3 classes.
+	if len(s.Cells) != 36 {
+		t.Fatalf("sensitivity cells = %d, want 36", len(s.Cells))
+	}
+	for _, c := range s.Cells {
+		if c.CyclesNorm <= 0 {
+			t.Errorf("%v/%s/%s: non-positive normalised time", c.Algorithm, c.Predictor, c.Class)
+		}
+		sum := c.TruePos + c.TrueNeg + c.FalsePos + c.FalseNeg
+		if c.Algorithm != flexsnoop.Oracle && math.Abs(sum-1) > 1e-9 && sum != 0 {
+			t.Errorf("%v/%s/%s: accuracy fractions sum to %v", c.Algorithm, c.Predictor, c.Class, sum)
+		}
+		// The defining predictor properties must hold in vivo too:
+		switch c.Algorithm {
+		case flexsnoop.Subset:
+			if c.FalsePos > 0 {
+				t.Errorf("Subset produced false positives (%v)", c.FalsePos)
+			}
+		case flexsnoop.SupersetCon, flexsnoop.SupersetAgg:
+			if c.FalseNeg > 0 {
+				t.Errorf("%v produced false negatives (%v)", c.Algorithm, c.FalseNeg)
+			}
+		case flexsnoop.Exact:
+			if c.FalsePos > 0 || c.FalseNeg > 0 {
+				t.Errorf("Exact mispredicted (FP %v, FN %v)", c.FalsePos, c.FalseNeg)
+			}
+		}
+	}
+	// Perfect predictor recorded for every class.
+	for _, cl := range []string{"SPLASH-2", "SPECjbb", "SPECweb"} {
+		p, ok := s.Perfect[cl]
+		if !ok {
+			t.Errorf("perfect predictor missing for %s", cl)
+			continue
+		}
+		if p[2] != 0 || p[3] != 0 {
+			t.Errorf("%s: perfect predictor has FP/FN %v/%v", cl, p[2], p[3])
+		}
+	}
+	// SPECjbb rarely has a supplier: its perfect-TP fraction is far below
+	// the sharing-heavy SPLASH-2 one (Figure 11's key contrast).
+	if s.Perfect["SPECjbb"][0] >= s.Perfect["SPLASH-2"][0] {
+		t.Errorf("SPECjbb perfect TP %.3f >= SPLASH-2 %.3f",
+			s.Perfect["SPECjbb"][0], s.Perfect["SPLASH-2"][0])
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three machine sizes take seconds")
+	}
+	pts, err := flexsnoop.ScalingStudy(flexsnoop.Lazy, "barnes", flexsnoop.FigureOptions{OpsPerCore: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[0].NumCMPs != 4 || pts[2].NumCMPs != 16 {
+		t.Fatalf("scaling points = %+v", pts)
+	}
+	// Lazy's snoops per request and miss latency grow with ring size.
+	if !(pts[0].SnoopsPerRequest < pts[1].SnoopsPerRequest && pts[1].SnoopsPerRequest < pts[2].SnoopsPerRequest) {
+		t.Errorf("snoops not monotone in ring size: %+v", pts)
+	}
+	if !(pts[0].AvgReadMissLatency < pts[2].AvgReadMissLatency) {
+		t.Errorf("miss latency did not grow from 4 to 16 CMPs: %+v", pts)
+	}
+	// The 8-CMP point is the normalisation baseline.
+	if pts[1].CyclesNorm != 1 {
+		t.Errorf("8-CMP point not normalised to 1: %v", pts[1].CyclesNorm)
+	}
+	// Adaptive forwarding suffers less added miss latency per node than
+	// Lazy (its per-hop cost omits the snoop).
+	agg, err := flexsnoop.ScalingStudy(flexsnoop.SupersetAgg, "barnes", flexsnoop.FigureOptions{OpsPerCore: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyGrowth := pts[2].AvgReadMissLatency - pts[0].AvgReadMissLatency
+	aggGrowth := agg[2].AvgReadMissLatency - agg[0].AvgReadMissLatency
+	if aggGrowth >= lazyGrowth {
+		t.Errorf("SupersetAgg latency growth (%.0f) >= Lazy's (%.0f)", aggGrowth, lazyGrowth)
+	}
+}

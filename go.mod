@@ -1,0 +1,3 @@
+module flexsnoop
+
+go 1.22

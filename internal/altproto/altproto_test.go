@@ -1,0 +1,221 @@
+package altproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/protocol"
+	"flexsnoop/internal/sim"
+)
+
+// engine abstracts the two alternatives for shared tests.
+type engine interface {
+	Access(node, core int, kind protocol.AccessKind, addr cache.LineAddr, done func())
+	CheckSWMR() error
+	LineState(g int, addr cache.LineAddr) cache.State
+	LatestVersion(addr cache.LineAddr) uint64
+}
+
+func engines(t *testing.T) map[string]func(*sim.Kernel) engine {
+	t.Helper()
+	return map[string]func(*sim.Kernel) engine{
+		"directory": func(k *sim.Kernel) engine {
+			d, err := NewDirectory(k, config.DefaultMachine())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"bus": func(k *sim.Kernel) engine {
+			b, err := NewBroadcastBus(k, config.DefaultMachine())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+	}
+}
+
+func TestReadThenRemoteRead(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			kern := sim.NewKernel()
+			e := mk(kern)
+			done := 0
+			e.Access(0, 0, protocol.Load, 0x10, func() { done++ })
+			kern.RunAll()
+			e.Access(5, 0, protocol.Load, 0x10, func() { done++ })
+			kern.RunAll()
+			if done != 2 {
+				t.Fatalf("completed %d/2", done)
+			}
+			// First reader got E (sole copy), then both share.
+			if st := e.LineState(0, 0x10); st != cache.Shared {
+				t.Errorf("first reader = %v, want S after second read", st)
+			}
+			if st := e.LineState(20, 0x10); st != cache.Shared { // node5 core0 = global 20
+				t.Errorf("second reader = %v, want S", st)
+			}
+			if err := e.CheckSWMR(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWriteInvalidatesEverywhere(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			kern := sim.NewKernel()
+			e := mk(kern)
+			e.Access(0, 0, protocol.Load, 0x10, nil)
+			kern.RunAll()
+			e.Access(3, 0, protocol.Load, 0x10, nil)
+			kern.RunAll()
+			e.Access(6, 0, protocol.Store, 0x10, nil)
+			kern.RunAll()
+			if st := e.LineState(24, 0x10); st != cache.Dirty { // node6 core0
+				t.Errorf("writer = %v, want D", st)
+			}
+			for _, g := range []int{0, 12} {
+				if st := e.LineState(g, 0x10); st != cache.Invalid {
+					t.Errorf("old sharer g%d = %v, want I", g, st)
+				}
+			}
+			if v := e.LatestVersion(0x10); v != 1 {
+				t.Errorf("version = %d, want 1", v)
+			}
+			if err := e.CheckSWMR(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDirtyTransfer(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			kern := sim.NewKernel()
+			e := mk(kern)
+			e.Access(1, 0, protocol.Store, 0x20, nil)
+			kern.RunAll()
+			// Remote read of a dirty line: owner downgrades and supplies.
+			e.Access(7, 0, protocol.Load, 0x20, nil)
+			kern.RunAll()
+			if st := e.LineState(4, 0x20); st != cache.Shared { // node1 core0
+				t.Errorf("old owner = %v, want S", st)
+			}
+			if st := e.LineState(28, 0x20); st != cache.Shared {
+				t.Errorf("reader = %v, want S", st)
+			}
+			// Remote write then claims it.
+			e.Access(2, 0, protocol.Store, 0x20, nil)
+			kern.RunAll()
+			if v := e.LatestVersion(0x20); v != 2 {
+				t.Errorf("version = %d, want 2", v)
+			}
+			if err := e.CheckSWMR(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDirectoryIndirectionCounted(t *testing.T) {
+	kern := sim.NewKernel()
+	d, err := NewDirectory(kern, config.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Access(0, 0, protocol.Store, 0x30, nil)
+	kern.RunAll()
+	if d.Stats().Indirections != 0 {
+		t.Fatalf("unexpected early indirections")
+	}
+	// Reading a dirty remote line needs the 3-hop forward.
+	d.Access(4, 0, protocol.Load, 0x30, nil)
+	kern.RunAll()
+	if d.Stats().Indirections != 1 {
+		t.Errorf("Indirections = %d, want 1", d.Stats().Indirections)
+	}
+}
+
+func TestBusSnoopsEveryCore(t *testing.T) {
+	kern := sim.NewKernel()
+	b, err := NewBroadcastBus(kern, config.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Access(0, 0, protocol.Load, 0x40, nil)
+	kern.RunAll()
+	if got := b.Stats().SnoopOps; got != 31 {
+		t.Errorf("SnoopOps = %d, want 31 (every other core)", got)
+	}
+	if got := b.Stats().BusTransactions; got != 1 {
+		t.Errorf("BusTransactions = %d, want 1", got)
+	}
+}
+
+func TestBusSaturationShowsInWaits(t *testing.T) {
+	kern := sim.NewKernel()
+	b, err := NewBroadcastBus(kern, config.DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst of misses from every core must queue on the single bus.
+	for n := 0; n < 8; n++ {
+		for c := 0; c < 4; c++ {
+			addr := cache.LineAddr(0x1000 + n*64 + c*8)
+			b.Access(n, c, protocol.Load, addr, nil)
+		}
+	}
+	kern.RunAll()
+	if b.Stats().BusWaitCycles == 0 {
+		t.Error("simultaneous misses produced no bus queueing")
+	}
+}
+
+func TestStressBothEngines(t *testing.T) {
+	for name, mk := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			kern := sim.NewKernel()
+			e := mk(kern)
+			rng := rand.New(rand.NewSource(5))
+			issued, completed := 0, 0
+			for i := 0; i < 1500; i++ {
+				node, c := rng.Intn(8), rng.Intn(4)
+				addr := cache.LineAddr(rng.Intn(64))
+				kind := protocol.Load
+				if rng.Intn(3) == 0 {
+					kind = protocol.Store
+				}
+				issued++
+				e.Access(node, c, kind, addr, func() { completed++ })
+				if rng.Intn(6) == 0 {
+					kern.RunAll()
+					if err := e.CheckSWMR(); err != nil {
+						t.Fatalf("iter %d: %v", i, err)
+					}
+				}
+			}
+			kern.RunAll()
+			if completed != issued {
+				t.Fatalf("completed %d/%d", completed, issued)
+			}
+			if err := e.CheckSWMR(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDirectoryRejectsTooManyCores(t *testing.T) {
+	cfg := config.DefaultMachine()
+	cfg.CoresPerCMP = 16 // 128 cores > 64-bit sharer mask
+	cfg.TorusWidth, cfg.TorusHeight = 4, 2
+	if _, err := NewDirectory(sim.NewKernel(), cfg); err == nil {
+		t.Error("oversized machine accepted by full-map directory")
+	}
+}

@@ -1,0 +1,248 @@
+package altproto
+
+import (
+	"flexsnoop/internal/bus"
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/protocol"
+	"flexsnoop/internal/sim"
+)
+
+// BroadcastBus is a snoopy protocol over one shared broadcast link
+// (Section 2.1.1): every transaction arbitrates for the bus, every cache
+// snoops it, and the bus's serialization is the coherence order. Simple,
+// but the bus admits one transaction per arbitration slot — with 32 cores
+// it saturates, which is exactly the scalability ceiling the paper cites.
+type BroadcastBus struct {
+	*base
+
+	// link is the shared snoop bus: occupancy is the arbitration +
+	// address slot; the snoop outcome lands snoopCycles later.
+	link bus.Bus
+	// arbCycles is the per-transaction bus occupancy.
+	arbCycles sim.Time
+
+	// lines serializes same-line transactions end to end: the bus slot
+	// orders them, but a transaction's data transfer completes after its
+	// slot, and a second transaction must not snoop the line while the
+	// first's data is in flight.
+	lines map[cache.LineAddr]*lineSerial
+}
+
+type lineSerial struct {
+	busy    bool
+	waiters []func()
+}
+
+// NewBroadcastBus builds the bus engine.
+func NewBroadcastBus(kern *sim.Kernel, cfg config.MachineConfig) (*BroadcastBus, error) {
+	b, err := newBase(kern, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BroadcastBus{
+		base:      b,
+		arbCycles: sim.Time(cfg.BusOccupancyCycles),
+		lines:     map[cache.LineAddr]*lineSerial{},
+	}, nil
+}
+
+// Stats returns the accumulated counters.
+func (bb *BroadcastBus) Stats() Stats {
+	s := bb.stats
+	s.BusWaitCycles = bb.link.WaitCycles
+	s.BusTransactions = bb.link.Grants
+	return s
+}
+
+// Access implements the processor-side interface (cpu.Memory).
+func (bb *BroadcastBus) Access(node, core int, kind protocol.AccessKind, addr cache.LineAddr, done func()) {
+	g := bb.global(node, core)
+	if kind == protocol.Load {
+		bb.stats.Loads++
+	} else {
+		bb.stats.Stores++
+	}
+	line, l1hit := bb.l2Hit(g, kind, addr)
+	if l1hit {
+		bb.kern.After(sim.Time(bb.cfg.L1.RoundTripCycles), func() { bb.done(done) })
+		return
+	}
+	l2RT := sim.Time(bb.cfg.L2.RoundTripCycles)
+	if kind == protocol.Load && line != nil {
+		bb.clients[g].l1.Insert(addr, cache.Shared, line.Version)
+		bb.kern.After(l2RT, func() { bb.done(done) })
+		return
+	}
+	if kind == protocol.Store && line != nil && (line.State == cache.Exclusive || line.State == cache.Dirty) {
+		line.State = cache.Dirty
+		line.Version = bb.nextVersion(addr)
+		bb.clients[g].l1.Insert(addr, cache.Shared, line.Version)
+		bb.kern.After(l2RT, func() { bb.done(done) })
+		return
+	}
+	if kind == protocol.Load {
+		bb.stats.ReadRequests++
+	} else {
+		bb.stats.WriteRequests++
+	}
+	start := bb.kern.Now()
+	bb.kern.After(l2RT, func() {
+		bb.transact(g, kind, addr, func() {
+			if kind == protocol.Load {
+				bb.stats.ReadMissCycles += uint64(bb.kern.Now() - start)
+				bb.stats.ReadMissCount++
+			}
+			bb.done(done)
+		})
+	})
+}
+
+func (bb *BroadcastBus) done(done func()) {
+	if done != nil {
+		done()
+	}
+}
+
+// transact serializes same-line transactions, arbitrates for the bus, and
+// lands the snoop result snoopCycles after the grant.
+func (bb *BroadcastBus) transact(g int, kind protocol.AccessKind, addr cache.LineAddr, done func()) {
+	ls, ok := bb.lines[addr]
+	if !ok {
+		ls = &lineSerial{}
+		bb.lines[addr] = ls
+	}
+	if ls.busy {
+		ls.waiters = append(ls.waiters, func() { bb.transact(g, kind, addr, done) })
+		return
+	}
+	ls.busy = true
+	release := func() {
+		ls.busy = false
+		if len(ls.waiters) > 0 {
+			next := ls.waiters[0]
+			ls.waiters = ls.waiters[1:]
+			bb.kern.After(1, next)
+		} else {
+			delete(bb.lines, addr)
+		}
+	}
+	grant := bb.link.Reserve(bb.kern.Now(), bb.arbCycles)
+	settle := grant + sim.Time(bb.cfg.CMPSnoopCycles)
+	wrapped := func() {
+		done()
+		release()
+	}
+	bb.kern.Schedule(settle, func() {
+		// Every other core snooped the transaction.
+		bb.stats.SnoopOps += uint64(bb.cfg.TotalCores() - 1)
+		if kind == protocol.Load {
+			bb.busRead(g, addr, wrapped)
+		} else {
+			bb.busWrite(g, addr, wrapped)
+		}
+	})
+}
+
+// busRead: a dirty/exclusive holder supplies (and downgrades); otherwise
+// memory supplies.
+func (bb *BroadcastBus) busRead(g int, addr cache.LineAddr, done func()) {
+	// A queued transaction may have been satisfied by this core's own
+	// earlier transaction on the line (e.g. a store issued just before):
+	// the miss has become a hit.
+	if l := bb.clients[g].l2.Lookup(addr); l != nil {
+		bb.clients[g].l1.Insert(addr, cache.Shared, l.Version)
+		done()
+		return
+	}
+	supplier := -1
+	sharers := false
+	for s := range bb.clients {
+		if s == g {
+			continue
+		}
+		if l := bb.clients[s].l2.Lookup(addr); l != nil {
+			sharers = true
+			if l.State.DirtyData() || l.State == cache.Exclusive {
+				supplier = s
+			}
+		}
+	}
+	if supplier >= 0 {
+		l := bb.clients[supplier].l2.Lookup(addr)
+		version := l.Version
+		if l.State.DirtyData() {
+			bb.mems[bb.homeOf(addr)].WriteBack(addr, version)
+			bb.stats.MemWrites++
+		}
+		bb.clients[supplier].l2.SetState(addr, cache.Shared)
+		arrive := bb.send(bb.nodeOf(supplier), bb.nodeOf(g))
+		bb.kern.Schedule(arrive, func() {
+			bb.install(g, addr, cache.Shared, version)
+			done()
+		})
+		return
+	}
+	home := bb.homeOf(addr)
+	rt := bb.mems[home].ReadLatency(bb.kern.Now(), addr, bb.nodeOf(g))
+	bb.stats.MemReads++
+	bb.stats.NOCMessages++
+	st := cache.Shared
+	if !sharers {
+		st = cache.Exclusive
+	}
+	bb.kern.After(rt, func() {
+		bb.install(g, addr, st, bb.mems[home].Version(addr))
+		done()
+	})
+}
+
+// busWrite invalidates every other copy in the snoop slot and takes
+// ownership; a dirty holder supplies the data, else memory (or the
+// requester's own copy on an upgrade).
+func (bb *BroadcastBus) busWrite(g int, addr cache.LineAddr, done func()) {
+	supplier := -1
+	var supplied cache.Line
+	for s := range bb.clients {
+		if s == g {
+			continue
+		}
+		if l, ok := bb.invalidate(s, addr); ok {
+			if l.State.DirtyData() || l.State == cache.Exclusive {
+				supplier = s
+				supplied = l
+			}
+		}
+	}
+	own := bb.clients[g].l2.Lookup(addr)
+	switch {
+	case own != nil:
+		// Upgrade: write performs in the snoop slot.
+		own.State = cache.Dirty
+		own.Version = bb.nextVersion(addr)
+		bb.clients[g].l1.Insert(addr, cache.Shared, own.Version)
+		done()
+	case supplier >= 0:
+		if supplied.State.DirtyData() {
+			bb.mems[bb.homeOf(addr)].WriteBack(addr, supplied.Version)
+			bb.stats.MemWrites++
+		}
+		arrive := bb.send(bb.nodeOf(supplier), bb.nodeOf(g))
+		bb.kern.Schedule(arrive, func() {
+			bb.install(g, addr, cache.Dirty, bb.nextVersion(addr))
+			done()
+		})
+	default:
+		home := bb.homeOf(addr)
+		rt := bb.mems[home].ReadLatency(bb.kern.Now(), addr, bb.nodeOf(g))
+		bb.stats.MemReads++
+		bb.stats.NOCMessages++
+		bb.kern.After(rt, func() {
+			bb.install(g, addr, cache.Dirty, bb.nextVersion(addr))
+			done()
+		})
+	}
+}
+
+// CheckSWMR verifies the single-writer invariant (tests).
+func (bb *BroadcastBus) CheckSWMR() error { return bb.checkSWMR() }

@@ -1,0 +1,299 @@
+package altproto
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/protocol"
+	"flexsnoop/internal/sim"
+)
+
+// Directory is a full-map directory protocol (Section 2.1.2): every
+// transaction is sent to the line's home node, whose directory serializes
+// it — forwarding to the owner, invalidating sharers, or reading memory.
+// The directory's cost is the indirection: a cache-to-cache transfer takes
+// three network hops (requester -> home -> owner -> requester) where the
+// ring's snoop takes one transit plus a direct data hop.
+type Directory struct {
+	*base
+
+	// entries holds per-line directory state at the home (modelled as one
+	// map; the home split is implicit in homeOf for latency purposes).
+	entries map[cache.LineAddr]*dirEntry
+
+	// dirAccessCycles is the directory lookup/update cost at the home.
+	dirAccessCycles sim.Time
+}
+
+// dirEntry is one line's directory record.
+type dirEntry struct {
+	// sharers is a bitmask over global cores holding the line.
+	sharers uint64
+	// owner is the global core with the exclusive/dirty copy, or -1.
+	owner int
+	// busy serializes transactions on the line: the directory bounces
+	// nothing, it queues (Section 2.1.2 mentions bouncing or buffering;
+	// buffering is kinder and simpler).
+	busy    bool
+	waiters []func()
+}
+
+// NewDirectory builds the directory engine.
+func NewDirectory(kern *sim.Kernel, cfg config.MachineConfig) (*Directory, error) {
+	if cfg.TotalCores() > 64 {
+		return nil, fmt.Errorf("altproto: full-map directory limited to 64 cores, got %d", cfg.TotalCores())
+	}
+	b, err := newBase(kern, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Directory{base: b, entries: map[cache.LineAddr]*dirEntry{}, dirAccessCycles: 10}, nil
+}
+
+// Stats returns the accumulated counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+func (d *Directory) entry(addr cache.LineAddr) *dirEntry {
+	e, ok := d.entries[addr]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.entries[addr] = e
+	}
+	return e
+}
+
+// Access implements the processor-side interface (cpu.Memory).
+func (d *Directory) Access(node, core int, kind protocol.AccessKind, addr cache.LineAddr, done func()) {
+	g := d.global(node, core)
+	if kind == protocol.Load {
+		d.stats.Loads++
+	} else {
+		d.stats.Stores++
+	}
+	line, l1hit := d.l2Hit(g, kind, addr)
+	if l1hit {
+		d.complete(sim.Time(d.cfg.L1.RoundTripCycles), done)
+		return
+	}
+	l2RT := sim.Time(d.cfg.L2.RoundTripCycles)
+	if kind == protocol.Load && line != nil {
+		d.clients[g].l1.Insert(addr, cache.Shared, line.Version)
+		d.complete(l2RT, done)
+		return
+	}
+	if kind == protocol.Store && line != nil && (line.State == cache.Exclusive || line.State == cache.Dirty) {
+		// Silent upgrade: the directory already records us as owner.
+		line.State = cache.Dirty
+		line.Version = d.nextVersion(addr)
+		d.clients[g].l1.Insert(addr, cache.Shared, line.Version)
+		d.complete(l2RT, done)
+		return
+	}
+	// Miss (or S-upgrade): go to the home directory.
+	if kind == protocol.Load {
+		d.stats.ReadRequests++
+	} else {
+		d.stats.WriteRequests++
+	}
+	start := d.kern.Now()
+	d.kern.After(l2RT, func() {
+		d.toHome(g, kind, addr, func() {
+			if kind == protocol.Load {
+				d.stats.ReadMissCycles += uint64(d.kern.Now() - start)
+				d.stats.ReadMissCount++
+			}
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func (d *Directory) complete(after sim.Time, done func()) {
+	d.kern.After(after, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// toHome sends the request to the home node and runs the directory
+// transaction when it arrives (queueing behind a busy line).
+func (d *Directory) toHome(g int, kind protocol.AccessKind, addr cache.LineAddr, done func()) {
+	home := d.homeOf(addr)
+	arrive := d.send(d.nodeOf(g), home)
+	d.kern.Schedule(arrive+d.dirAccessCycles, func() {
+		d.atHome(g, kind, addr, done)
+	})
+}
+
+func (d *Directory) atHome(g int, kind protocol.AccessKind, addr cache.LineAddr, done func()) {
+	e := d.entry(addr)
+	if e.busy {
+		e.waiters = append(e.waiters, func() { d.atHome(g, kind, addr, done) })
+		return
+	}
+	e.busy = true
+	release := func() {
+		e.busy = false
+		if len(e.waiters) > 0 {
+			next := e.waiters[0]
+			e.waiters = e.waiters[1:]
+			d.kern.After(1, next)
+		}
+	}
+	if kind == protocol.Load {
+		d.homeRead(g, addr, e, done, release)
+	} else {
+		d.homeWrite(g, addr, e, done, release)
+	}
+}
+
+// homeRead serves a read at the directory.
+func (d *Directory) homeRead(g int, addr cache.LineAddr, e *dirEntry, done, release func()) {
+	home := d.homeOf(addr)
+	// A queued request may have been satisfied by the requester's own
+	// earlier transaction (store then load on the same line): reply with
+	// a simple grant.
+	if l := d.clients[g].l2.Lookup(addr); l != nil {
+		d.clients[g].l1.Insert(addr, cache.Shared, l.Version)
+		d.kern.Schedule(d.send(home, d.nodeOf(g)), func() {
+			done()
+		})
+		release()
+		return
+	}
+	if e.owner >= 0 {
+		// 3-hop: forward to the owner, which downgrades, writes back,
+		// and supplies the requester directly.
+		d.stats.Indirections++
+		owner := e.owner
+		fwd := d.send(home, d.nodeOf(owner))
+		d.kern.Schedule(fwd, func() {
+			d.stats.SnoopOps++
+			l := d.clients[owner].l2.Lookup(addr)
+			version := d.versions[addr]
+			if l != nil {
+				version = l.Version
+				l.State = cache.Shared
+				d.mems[home].WriteBack(addr, l.Version)
+				d.stats.MemWrites++
+			}
+			arrive := d.send(d.nodeOf(owner), d.nodeOf(g))
+			d.kern.Schedule(arrive, func() {
+				d.install(g, addr, cache.Shared, version)
+				e.sharers |= 1<<uint(owner) | 1<<uint(g)
+				e.owner = -1
+				done()
+				release()
+			})
+		})
+		return
+	}
+	// Memory supplies; grant Exclusive when no sharer is recorded.
+	rt := d.mems[home].ReadLatency(d.kern.Now(), addr, d.nodeOf(g))
+	d.stats.MemReads++
+	d.stats.NOCMessages++ // data reply
+	d.kern.After(rt, func() {
+		st := cache.Shared
+		if e.sharers == 0 {
+			st = cache.Exclusive
+			e.owner = g
+		}
+		version := d.mems[home].Version(addr)
+		d.install(g, addr, st, version)
+		e.sharers |= 1 << uint(g)
+		done()
+		release()
+	})
+}
+
+// homeWrite serves a write at the directory: invalidate every other copy,
+// transfer data from the owner or memory, grant ownership.
+func (d *Directory) homeWrite(g int, addr cache.LineAddr, e *dirEntry, done, release func()) {
+	home := d.homeOf(addr)
+	// Already the exclusive owner (an earlier queued write won): perform
+	// the write locally after a grant hop.
+	if l := d.clients[g].l2.Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
+		l.State = cache.Dirty
+		l.Version = d.nextVersion(addr)
+		d.clients[g].l1.Insert(addr, cache.Shared, l.Version)
+		d.kern.Schedule(d.send(home, d.nodeOf(g)), func() {
+			done()
+		})
+		release()
+		return
+	}
+	finish := func(version uint64, arrival sim.Time) {
+		d.kern.Schedule(arrival, func() {
+			d.install(g, addr, cache.Dirty, d.nextVersion(addr))
+			_ = version
+			e.sharers = 1 << uint(g)
+			e.owner = g
+			done()
+			release()
+		})
+	}
+
+	if e.owner >= 0 && e.owner != g {
+		// Forward-invalidate: the owner sends its data to the requester
+		// and invalidates itself.
+		d.stats.Indirections++
+		owner := e.owner
+		fwd := d.send(home, d.nodeOf(owner))
+		d.kern.Schedule(fwd, func() {
+			d.stats.SnoopOps++
+			version := d.versions[addr]
+			if l, ok := d.invalidate(owner, addr); ok {
+				version = l.Version
+			}
+			finish(version, d.send(d.nodeOf(owner), d.nodeOf(g)))
+		})
+		return
+	}
+
+	// Invalidate all sharers (other than the requester) in parallel; the
+	// grant waits for the slowest ack at the home, then travels to the
+	// requester. Directory sharer bits may be stale (silent evictions):
+	// those invalidations are wasted messages, as in real systems.
+	slowest := d.kern.Now()
+	for s := 0; s < d.cfg.TotalCores(); s++ {
+		if e.sharers&(1<<uint(s)) == 0 || s == g {
+			continue
+		}
+		inv := d.send(home, d.nodeOf(s))
+		d.stats.SnoopOps++
+		sNode := d.nodeOf(s)
+		d.invalidate(s, addr)
+		ack := inv + d.torus.Latency(inv, sNode, home)
+		d.stats.NOCMessages++
+		if ack > slowest {
+			slowest = ack
+		}
+	}
+
+	version := d.versions[addr]
+	if l := d.clients[g].l2.Lookup(addr); l != nil {
+		// Upgrade: we already hold the data.
+		d.invalidate(g, addr) // re-installed dirty below
+		delay := slowest
+		if grant := d.send(home, d.nodeOf(g)); grant > delay {
+			delay = grant
+		}
+		finish(version, delay)
+		return
+	}
+	// Write miss with no owner: memory supplies.
+	rt := d.mems[home].ReadLatency(d.kern.Now(), addr, d.nodeOf(g))
+	d.stats.MemReads++
+	d.stats.NOCMessages++
+	delay := d.kern.Now() + rt
+	if slowest > delay {
+		delay = slowest
+	}
+	finish(d.mems[home].Version(addr), delay)
+}
+
+// CheckSWMR verifies the single-writer invariant (tests).
+func (d *Directory) CheckSWMR() error { return d.checkSWMR() }

@@ -1,0 +1,36 @@
+// Package bus models the shared intra-CMP bus as a serially-occupied
+// resource: one snoop or transfer holds the bus at a time, and later
+// requests queue behind it (Table 4: 55-cycle CMP bus access + L2 snoop).
+package bus
+
+import "flexsnoop/internal/sim"
+
+// Bus is a single serially-reusable resource. The zero value is ready to
+// use.
+type Bus struct {
+	busyUntil sim.Time
+
+	// Grants counts successful reservations; WaitCycles accumulates the
+	// cycles requests spent queued behind earlier occupants.
+	Grants     uint64
+	WaitCycles uint64
+	BusyCycles uint64
+}
+
+// Reserve books the bus for an operation of the given duration, starting
+// no earlier than now. It returns the cycle at which the operation starts;
+// the operation completes at start+duration.
+func (b *Bus) Reserve(now sim.Time, duration sim.Time) (start sim.Time) {
+	start = now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.WaitCycles += uint64(start - now)
+	b.BusyCycles += uint64(duration)
+	b.busyUntil = start + duration
+	b.Grants++
+	return start
+}
+
+// FreeAt returns the earliest cycle a new reservation could start.
+func (b *Bus) FreeAt() sim.Time { return b.busyUntil }

@@ -1,0 +1,72 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexsnoop/internal/sim"
+)
+
+func TestReserveIdle(t *testing.T) {
+	var b Bus
+	if start := b.Reserve(100, 55); start != 100 {
+		t.Errorf("idle bus start = %d, want 100", start)
+	}
+	if b.FreeAt() != 155 {
+		t.Errorf("FreeAt = %d, want 155", b.FreeAt())
+	}
+}
+
+func TestReserveQueues(t *testing.T) {
+	var b Bus
+	b.Reserve(0, 55)
+	start := b.Reserve(10, 55)
+	if start != 55 {
+		t.Errorf("queued start = %d, want 55", start)
+	}
+	if b.WaitCycles != 45 {
+		t.Errorf("WaitCycles = %d, want 45", b.WaitCycles)
+	}
+	// A request after the bus frees starts immediately.
+	if start := b.Reserve(200, 55); start != 200 {
+		t.Errorf("late start = %d, want 200", start)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var b Bus
+	b.Reserve(0, 10)
+	b.Reserve(0, 10)
+	b.Reserve(0, 10)
+	if b.Grants != 3 {
+		t.Errorf("Grants = %d, want 3", b.Grants)
+	}
+	if b.BusyCycles != 30 {
+		t.Errorf("BusyCycles = %d, want 30", b.BusyCycles)
+	}
+	if b.WaitCycles != 10+20 {
+		t.Errorf("WaitCycles = %d, want 30", b.WaitCycles)
+	}
+}
+
+// Property: reservations never overlap and never start before requested.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		var b Bus
+		now := sim.Time(0)
+		var lastEnd sim.Time
+		for _, r := range reqs {
+			now += sim.Time(r % 16)
+			dur := sim.Time(r%7 + 1)
+			start := b.Reserve(now, dur)
+			if start < now || start < lastEnd {
+				return false
+			}
+			lastEnd = start + dur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/config"
+)
+
+// Array is a set-associative cache tag array with true-LRU replacement.
+// It tracks coherence state per line; data values are abstracted into the
+// per-line Version counter.
+type Array struct {
+	sets     [][]Line // each set ordered MRU-first
+	assoc    int
+	setMask  LineAddr
+	setShift uint
+	count    int
+
+	// Stats
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewArray builds an array from a cache geometry. The set index is taken
+// from the low bits of the line address (the line offset is already
+// stripped from LineAddr).
+func NewArray(cfg config.CacheConfig) *Array {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
+	}
+	a := &Array{
+		sets:    make([][]Line, sets),
+		assoc:   cfg.Assoc,
+		setMask: LineAddr(sets - 1),
+	}
+	for i := range a.sets {
+		a.sets[i] = make([]Line, 0, cfg.Assoc)
+	}
+	return a
+}
+
+// NewArrayGeometry builds an array directly from (sets, assoc); used by
+// predictors whose geometry is given in entries rather than bytes.
+func NewArrayGeometry(sets, assoc int) *Array {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
+	}
+	a := &Array{
+		sets:    make([][]Line, sets),
+		assoc:   assoc,
+		setMask: LineAddr(sets - 1),
+	}
+	for i := range a.sets {
+		a.sets[i] = make([]Line, 0, assoc)
+	}
+	return a
+}
+
+func (a *Array) setFor(addr LineAddr) int { return int(addr & a.setMask) }
+
+// Len returns the number of valid lines currently held.
+func (a *Array) Len() int { return a.count }
+
+// Capacity returns sets*assoc.
+func (a *Array) Capacity() int { return len(a.sets) * a.assoc }
+
+// Lookup returns a pointer to the line's entry, or nil on a miss. The
+// returned pointer stays valid until the next mutation of the same set.
+// Lookup does not update LRU order; pair it with Touch for an access.
+func (a *Array) Lookup(addr LineAddr) *Line {
+	set := a.sets[a.setFor(addr)]
+	for i := range set {
+		if set[i].Addr == addr {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports presence without touching LRU state or stats.
+func (a *Array) Contains(addr LineAddr) bool { return a.Lookup(addr) != nil }
+
+// Touch moves the line to MRU position. No-op if absent.
+func (a *Array) Touch(addr LineAddr) {
+	si := a.setFor(addr)
+	set := a.sets[si]
+	for i := range set {
+		if set[i].Addr == addr {
+			if i > 0 {
+				l := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = l
+			}
+			return
+		}
+	}
+}
+
+// Access combines Lookup and Touch, updating hit/miss stats.
+func (a *Array) Access(addr LineAddr) *Line {
+	if l := a.Lookup(addr); l != nil {
+		a.Hits++
+		a.Touch(addr)
+		// Touch may have moved the entry; re-find it.
+		return a.Lookup(addr)
+	}
+	a.Misses++
+	return nil
+}
+
+// Insert places the line at MRU position with the given state and version.
+// If the line is already present it is overwritten and touched. If the set
+// is full, the LRU entry is evicted and returned with evicted=true.
+func (a *Array) Insert(addr LineAddr, st State, version uint64) (victim Line, evicted bool) {
+	if !st.Valid() {
+		panic("cache: inserting an invalid line")
+	}
+	si := a.setFor(addr)
+	set := a.sets[si]
+	for i := range set {
+		if set[i].Addr == addr {
+			set[i].State = st
+			set[i].Version = version
+			a.Touch(addr)
+			return Line{}, false
+		}
+	}
+	l := Line{Addr: addr, State: st, Version: version}
+	if len(set) < a.assoc {
+		set = append(set, Line{})
+		copy(set[1:], set[0:len(set)-1])
+		set[0] = l
+		a.sets[si] = set
+		a.count++
+		return Line{}, false
+	}
+	victim = set[len(set)-1]
+	copy(set[1:], set[0:len(set)-1])
+	set[0] = l
+	a.Evictions++
+	return victim, true
+}
+
+// Invalidate removes the line, returning its final contents.
+func (a *Array) Invalidate(addr LineAddr) (Line, bool) {
+	si := a.setFor(addr)
+	set := a.sets[si]
+	for i := range set {
+		if set[i].Addr == addr {
+			l := set[i]
+			a.sets[si] = append(set[:i], set[i+1:]...)
+			a.count--
+			return l, true
+		}
+	}
+	return Line{}, false
+}
+
+// SetState rewrites the line's coherence state in place, reporting whether
+// the line was present.
+func (a *Array) SetState(addr LineAddr, st State) bool {
+	if l := a.Lookup(addr); l != nil {
+		if !st.Valid() {
+			panic("cache: SetState to Invalid; use Invalidate")
+		}
+		l.State = st
+		return true
+	}
+	return false
+}
+
+// ForEach visits every valid line. The visited Line is a copy; mutate via
+// the other methods.
+func (a *Array) ForEach(visit func(Line)) {
+	for _, set := range a.sets {
+		for _, l := range set {
+			visit(l)
+		}
+	}
+}
+
+// LRUVictim returns the line that Insert would evict for this address, if
+// the set is full. Used by the Exact predictor to downgrade ahead of a
+// conflict.
+func (a *Array) LRUVictim(addr LineAddr) (Line, bool) {
+	set := a.sets[a.setFor(addr)]
+	if len(set) < a.assoc {
+		return Line{}, false
+	}
+	for i := range set {
+		if set[i].Addr == addr {
+			return Line{}, false // hit: no eviction would occur
+		}
+	}
+	return set[len(set)-1], true
+}

@@ -1,0 +1,168 @@
+// Package cache models the coherence line states and set-associative cache
+// arrays of the embedded-ring multiprocessor.
+//
+// The protocol is MESI enhanced with Local/Global Master qualifiers on the
+// Shared state (S_L and S_G) and a Tagged (T) state for sharing dirty data
+// (paper Section 2.2, Figure 2(b)).
+package cache
+
+import "fmt"
+
+// LineAddr is a cache-line-granular physical address (byte address shifted
+// right by the line-size shift).
+type LineAddr uint64
+
+// State is a coherence state for one cache line in one cache.
+type State uint8
+
+const (
+	// Invalid: the cache does not hold the line.
+	Invalid State = iota
+	// Shared: read-only copy, neither local nor global master.
+	Shared
+	// SharedLocal (S_L): read-only copy, local master — the cache that
+	// brought the line into this CMP and may supply it to CMP-local
+	// readers.
+	SharedLocal
+	// SharedGlobal (S_G): read-only copy, global master — the cache that
+	// brought the line from memory and supplies it to remote readers.
+	SharedGlobal
+	// Exclusive: the only cached copy, clean.
+	Exclusive
+	// Dirty: the only cached copy, modified.
+	Dirty
+	// Tagged: modified, but coherent read-only copies may exist in other
+	// caches; written back to memory on eviction.
+	Tagged
+
+	numStates
+)
+
+// String returns the paper's abbreviation for the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case SharedLocal:
+		return "SL"
+	case SharedGlobal:
+		return "SG"
+	case Exclusive:
+		return "E"
+	case Dirty:
+		return "D"
+	case Tagged:
+		return "T"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// States lists every state including Invalid.
+func States() []State {
+	return []State{Invalid, Shared, SharedLocal, SharedGlobal, Exclusive, Dirty, Tagged}
+}
+
+// Valid reports whether the line is present.
+func (s State) Valid() bool { return s != Invalid }
+
+// GlobalSupplier reports whether this copy can supply a remote (other-CMP)
+// read: the supplier states S_G, E, D, T checked by the ring snoop
+// (Section 2.2).
+func (s State) GlobalSupplier() bool {
+	switch s {
+	case SharedGlobal, Exclusive, Dirty, Tagged:
+		return true
+	default:
+		return false
+	}
+}
+
+// LocalSupplier reports whether this copy can supply a read from another
+// core in the same CMP: S_L plus all global supplier states.
+func (s State) LocalSupplier() bool {
+	return s == SharedLocal || s.GlobalSupplier()
+}
+
+// DirtyData reports whether the copy differs from memory (D or T).
+func (s State) DirtyData() bool { return s == Dirty || s == Tagged }
+
+// Compatible implements the compatibility matrix of Figure 2(b): whether
+// two caches may simultaneously hold the same line in states a and b.
+// Entries marked "*" in the paper are allowed only when the two caches are
+// in different CMPs; sameCMP selects that restriction.
+func Compatible(a, b State, sameCMP bool) bool {
+	if a == Invalid || b == Invalid {
+		return true
+	}
+	// Normalise so a <= b in enum order; the matrix is symmetric.
+	if a > b {
+		a, b = b, a
+	}
+	switch a {
+	case Shared:
+		// S is compatible with S, SL, SG, T anywhere, but not E or D.
+		return b == Shared || b == SharedLocal || b == SharedGlobal || b == Tagged
+	case SharedLocal:
+		switch b {
+		case SharedLocal, SharedGlobal, Tagged:
+			// SL*, SG*, T*: only in a different CMP (one local master
+			// per CMP; the global master is also its CMP's master).
+			return !sameCMP
+		default:
+			return false
+		}
+	case SharedGlobal, Exclusive, Dirty, Tagged:
+		// Two global-supplier states can never coexist; E and D allow no
+		// other copies at all. (Pairs with S/SL already handled above.)
+		return false
+	default:
+		return false
+	}
+}
+
+// Line is one cache line's tag-array entry. Version is the generation
+// number of the last write observed for the line; the coherence checker
+// uses it to verify that reads return the latest serialized data.
+type Line struct {
+	Addr    LineAddr
+	State   State
+	Version uint64
+}
+
+// Present reports whether the entry holds a valid line.
+func (l Line) Present() bool { return l.State.Valid() }
+
+// SupplyTransition returns the supplier's next state after it supplies the
+// line to a remote reader: E->S_G (it stays global master, now shared),
+// D->T (dirty shared), S_G and T unchanged. Calling it on a non-supplier
+// state panics: that is a protocol bug, not an input error.
+func SupplyTransition(s State) State {
+	switch s {
+	case Exclusive:
+		return SharedGlobal
+	case Dirty:
+		return Tagged
+	case SharedGlobal:
+		return SharedGlobal
+	case Tagged:
+		return Tagged
+	default:
+		panic(fmt.Sprintf("cache: supply from non-supplier state %v", s))
+	}
+}
+
+// DowngradeTransition returns the state after an Exact-predictor downgrade
+// (Section 4.3.3): S_G/E silently become S_L; D/T are written back and kept
+// in S_L. The caller is responsible for issuing the write-back when
+// NeedsWriteback reports true.
+func DowngradeTransition(s State) State {
+	switch s {
+	case SharedGlobal, Exclusive, Dirty, Tagged:
+		return SharedLocal
+	default:
+		panic(fmt.Sprintf("cache: downgrade from non-supplier state %v", s))
+	}
+}

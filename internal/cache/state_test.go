@@ -1,0 +1,170 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStateClassification(t *testing.T) {
+	globals := map[State]bool{
+		Invalid: false, Shared: false, SharedLocal: false,
+		SharedGlobal: true, Exclusive: true, Dirty: true, Tagged: true,
+	}
+	for s, want := range globals {
+		if got := s.GlobalSupplier(); got != want {
+			t.Errorf("%v.GlobalSupplier = %v, want %v", s, got, want)
+		}
+	}
+	locals := map[State]bool{
+		Invalid: false, Shared: false, SharedLocal: true,
+		SharedGlobal: true, Exclusive: true, Dirty: true, Tagged: true,
+	}
+	for s, want := range locals {
+		if got := s.LocalSupplier(); got != want {
+			t.Errorf("%v.LocalSupplier = %v, want %v", s, got, want)
+		}
+	}
+	dirty := map[State]bool{
+		Invalid: false, Shared: false, SharedLocal: false,
+		SharedGlobal: false, Exclusive: false, Dirty: true, Tagged: true,
+	}
+	for s, want := range dirty {
+		if got := s.DirtyData(); got != want {
+			t.Errorf("%v.DirtyData = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestCompatibilityMatrix transcribes Figure 2(b) row by row.
+// diff = compatible only in different CMPs ("*" in the paper),
+// yes = compatible anywhere, no = never.
+func TestCompatibilityMatrix(t *testing.T) {
+	type compat int
+	const (
+		no compat = iota
+		yes
+		diff
+	)
+	matrix := map[State]map[State]compat{
+		Shared: {
+			Shared: yes, SharedLocal: yes, SharedGlobal: yes,
+			Exclusive: no, Dirty: no, Tagged: yes,
+		},
+		SharedLocal: {
+			Shared: yes, SharedLocal: diff, SharedGlobal: diff,
+			Exclusive: no, Dirty: no, Tagged: diff,
+		},
+		SharedGlobal: {
+			Shared: yes, SharedLocal: diff, SharedGlobal: no,
+			Exclusive: no, Dirty: no, Tagged: no,
+		},
+		Exclusive: {
+			Shared: no, SharedLocal: no, SharedGlobal: no,
+			Exclusive: no, Dirty: no, Tagged: no,
+		},
+		Dirty: {
+			Shared: no, SharedLocal: no, SharedGlobal: no,
+			Exclusive: no, Dirty: no, Tagged: no,
+		},
+		Tagged: {
+			Shared: yes, SharedLocal: diff, SharedGlobal: no,
+			Exclusive: no, Dirty: no, Tagged: no,
+		},
+	}
+	for a, row := range matrix {
+		for b, want := range row {
+			gotSame := Compatible(a, b, true)
+			gotDiff := Compatible(a, b, false)
+			wantSame := want == yes
+			wantDiff := want == yes || want == diff
+			if gotSame != wantSame {
+				t.Errorf("Compatible(%v,%v,sameCMP) = %v, want %v", a, b, gotSame, wantSame)
+			}
+			if gotDiff != wantDiff {
+				t.Errorf("Compatible(%v,%v,diffCMP) = %v, want %v", a, b, gotDiff, wantDiff)
+			}
+		}
+	}
+}
+
+func TestCompatibilityWithInvalid(t *testing.T) {
+	for _, s := range States() {
+		for _, same := range []bool{true, false} {
+			if !Compatible(Invalid, s, same) || !Compatible(s, Invalid, same) {
+				t.Errorf("Invalid must be compatible with %v", s)
+			}
+		}
+	}
+}
+
+// TestCompatibilitySymmetric is the property-based check that the matrix
+// is symmetric for arbitrary state pairs.
+func TestCompatibilitySymmetric(t *testing.T) {
+	f := func(ra, rb uint8, same bool) bool {
+		a := State(ra % uint8(numStates))
+		b := State(rb % uint8(numStates))
+		return Compatible(a, b, same) == Compatible(b, a, same)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSupplierUniquenessDerivable: no two global-supplier states are ever
+// compatible, which is what makes "at most one cache can supply" hold.
+func TestSupplierUniquenessDerivable(t *testing.T) {
+	for _, a := range States() {
+		for _, b := range States() {
+			if a.GlobalSupplier() && b.GlobalSupplier() {
+				if Compatible(a, b, true) || Compatible(a, b, false) {
+					t.Errorf("two global suppliers %v+%v reported compatible", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSupplyTransition(t *testing.T) {
+	want := map[State]State{
+		Exclusive:    SharedGlobal,
+		Dirty:        Tagged,
+		SharedGlobal: SharedGlobal,
+		Tagged:       Tagged,
+	}
+	for from, to := range want {
+		if got := SupplyTransition(from); got != to {
+			t.Errorf("SupplyTransition(%v) = %v, want %v", from, got, to)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SupplyTransition(Shared) did not panic")
+		}
+	}()
+	SupplyTransition(Shared)
+}
+
+func TestDowngradeTransition(t *testing.T) {
+	for _, s := range []State{SharedGlobal, Exclusive, Dirty, Tagged} {
+		if got := DowngradeTransition(s); got != SharedLocal {
+			t.Errorf("DowngradeTransition(%v) = %v, want SL", s, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DowngradeTransition(S) did not panic")
+		}
+	}()
+	DowngradeTransition(Shared)
+}
+
+func TestStateStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range States() {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("state %d has empty/duplicate name %q", s, str)
+		}
+		seen[str] = true
+	}
+}

@@ -1,0 +1,121 @@
+// Package checker verifies the coherence invariants of a running protocol
+// engine: the Figure 2(b) state-compatibility matrix, global supplier
+// uniqueness, gateway supplier-index consistency, and the data-value
+// invariant that every cached copy of a line carries the latest committed
+// write generation.
+//
+// The checker is test/debug infrastructure: it inspects global state the
+// hardware never sees at once.
+package checker
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/protocol"
+)
+
+// copyInfo locates one cached copy.
+type copyInfo struct {
+	node, core int
+	line       cache.Line
+}
+
+// Check runs every invariant against the engine, returning the first
+// violation found.
+func Check(e *protocol.Engine) error {
+	byAddr := map[cache.LineAddr][]copyInfo{}
+	e.ForEachLine(func(node, core int, l cache.Line) {
+		byAddr[l.Addr] = append(byAddr[l.Addr], copyInfo{node, core, l})
+	})
+
+	for addr, copies := range byAddr {
+		if err := checkLine(e, addr, copies); err != nil {
+			return err
+		}
+	}
+
+	// Gateway supplier indexes must not list lines with no supplier copy.
+	var idxErr error
+	e.ForEachSupplierIndex(func(n int, addr cache.LineAddr) {
+		if idxErr == nil && !hasSupplierAt(byAddr[addr], n) {
+			idxErr = fmt.Errorf("node %d indexes %#x as supplier but holds no supplier copy", n, addr)
+		}
+	})
+	return idxErr
+}
+
+func hasSupplierAt(copies []copyInfo, node int) bool {
+	for _, c := range copies {
+		if c.node == node && c.line.State.GlobalSupplier() {
+			return true
+		}
+	}
+	return false
+}
+
+func checkLine(e *protocol.Engine, addr cache.LineAddr, copies []copyInfo) error {
+	// Pairwise state compatibility (Figure 2(b)).
+	for i := 0; i < len(copies); i++ {
+		for j := i + 1; j < len(copies); j++ {
+			a, b := copies[i], copies[j]
+			if !cache.Compatible(a.line.State, b.line.State, a.node == b.node) {
+				return fmt.Errorf("line %#x: incompatible states %v@(n%d,c%d) and %v@(n%d,c%d)",
+					addr, a.line.State, a.node, a.core, b.line.State, b.node, b.core)
+			}
+		}
+	}
+
+	// Global supplier uniqueness and index consistency.
+	suppliers := 0
+	for _, c := range copies {
+		if c.line.State.GlobalSupplier() {
+			suppliers++
+			if !e.SupplierIndexed(c.node, addr) {
+				return fmt.Errorf("line %#x: supplier %v@(n%d,c%d) missing from gateway index",
+					addr, c.line.State, c.node, c.core)
+			}
+		}
+	}
+	if suppliers > 1 {
+		return fmt.Errorf("line %#x: %d global suppliers", addr, suppliers)
+	}
+
+	// Data-value invariant: every coexisting copy carries the same write
+	// generation, and it is the latest committed one.
+	latest := e.LatestVersion(addr)
+	for _, c := range copies {
+		if c.line.Version != copies[0].line.Version {
+			return fmt.Errorf("line %#x: divergent versions %v/%d@(n%d,c%d) vs %v/%d@(n%d,c%d), latest=%d, inflight=%v",
+				addr, c.line.State, c.line.Version, c.node, c.core,
+				copies[0].line.State, copies[0].line.Version, copies[0].node, copies[0].core,
+				latest, e.HasActiveTxn(addr))
+		}
+	}
+	if len(copies) > 0 && copies[0].line.Version != latest {
+		return fmt.Errorf("line %#x: cached version %d but latest committed write is %d",
+			addr, copies[0].line.Version, latest)
+	}
+
+	// With no cached copy and no transaction in flight, memory must hold
+	// the latest data (no writes may be lost).
+	if len(copies) == 0 && !e.HasActiveTxn(addr) {
+		if mv := e.MemVersion(addr); mv != latest {
+			return fmt.Errorf("line %#x: uncached, memory at version %d but latest write is %d (lost write)",
+				addr, mv, latest)
+		}
+	}
+	return nil
+}
+
+// CheckDrained verifies post-run cleanliness: no live transactions, no
+// leaked per-node message state, and all line invariants.
+func CheckDrained(e *protocol.Engine) error {
+	if n := e.OutstandingTxns(); n != 0 {
+		return fmt.Errorf("%d transactions still outstanding after drain", n)
+	}
+	if n := e.RingStateCount(); n != 0 {
+		return fmt.Errorf("%d ring states leaked after drain", n)
+	}
+	return Check(e)
+}

@@ -1,0 +1,175 @@
+package config
+
+import "testing"
+
+func TestDefaultMachineValid(t *testing.T) {
+	if err := DefaultMachine().Validate(); err != nil {
+		t.Fatalf("default machine invalid: %v", err)
+	}
+}
+
+func TestDefaultMachineMatchesTable4(t *testing.T) {
+	m := DefaultMachine()
+	if m.NumCMPs != 8 {
+		t.Errorf("NumCMPs = %d, want 8", m.NumCMPs)
+	}
+	if m.CoresPerCMP != 4 {
+		t.Errorf("CoresPerCMP = %d, want 4", m.CoresPerCMP)
+	}
+	if m.RingLinkCycles != 39 {
+		t.Errorf("RingLinkCycles = %d, want 39", m.RingLinkCycles)
+	}
+	if m.CMPSnoopCycles != 55 {
+		t.Errorf("CMPSnoopCycles = %d, want 55", m.CMPSnoopCycles)
+	}
+	if m.L1.SizeBytes != 32<<10 || m.L1.Assoc != 4 || m.L1.LineBytes != 64 {
+		t.Errorf("L1 geometry = %+v, want 32KB/4-way/64B", m.L1)
+	}
+	if m.L2.SizeBytes != 512<<10 || m.L2.Assoc != 8 || m.L2.LineBytes != 64 {
+		t.Errorf("L2 geometry = %+v, want 512KB/8-way/64B", m.L2)
+	}
+	if m.NumRings != 2 {
+		t.Errorf("NumRings = %d, want 2", m.NumRings)
+	}
+	if m.MemLocalRTCycles != 350 || m.MemRemoteRTPrefetchCycles != 312 || m.MemRemoteRTNoPrefetchCycle != 710 {
+		t.Errorf("memory round trips = %d/%d/%d, want 350/312/710",
+			m.MemLocalRTCycles, m.MemRemoteRTPrefetchCycles, m.MemRemoteRTNoPrefetchCycle)
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 512 << 10, Assoc: 8, LineBytes: 64}
+	if got := c.Sets(); got != 1024 {
+		t.Errorf("Sets = %d, want 1024", got)
+	}
+	c = CacheConfig{SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64}
+	if got := c.Sets(); got != 128 {
+		t.Errorf("Sets = %d, want 128", got)
+	}
+	if (CacheConfig{}).Sets() != 0 {
+		t.Error("zero config should report 0 sets")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*MachineConfig)
+	}{
+		{"one CMP", func(m *MachineConfig) { m.NumCMPs = 1 }},
+		{"zero cores", func(m *MachineConfig) { m.CoresPerCMP = 0 }},
+		{"zero rings", func(m *MachineConfig) { m.NumRings = 0 }},
+		{"odd line size", func(m *MachineConfig) { m.L2.LineBytes = 48; m.L1.LineBytes = 48 }},
+		{"mismatched lines", func(m *MachineConfig) { m.L1.LineBytes = 32 }},
+		{"torus too small", func(m *MachineConfig) { m.TorusWidth = 2; m.TorusHeight = 2 }},
+		{"zero link latency", func(m *MachineConfig) { m.RingLinkCycles = 0 }},
+		{"zero write buffer", func(m *MachineConfig) { m.WriteBufferEntries = 0 }},
+		{"zero txn limit", func(m *MachineConfig) { m.MaxTransactionsPerNode = 0 }},
+	}
+	for _, tc := range mutations {
+		m := DefaultMachine()
+		tc.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid config", tc.name)
+		}
+	}
+}
+
+func TestLineShift(t *testing.T) {
+	m := DefaultMachine()
+	if got := m.LineShift(); got != 6 {
+		t.Errorf("LineShift = %d, want 6 (64B lines)", got)
+	}
+}
+
+func TestAlgorithmNamesRoundTrip(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Errorf("round trip of %v gave %v", a, got)
+		}
+	}
+	if _, err := ParseAlgorithm("Bogus"); err == nil {
+		t.Error("ParseAlgorithm accepted a bogus name")
+	}
+}
+
+func TestAlgorithmClasses(t *testing.T) {
+	// Section 5.3: Eager class decouples writes, Lazy class does not.
+	decoupling := map[Algorithm]bool{
+		Lazy: false, Eager: true, Oracle: true,
+		Subset: true, SupersetCon: false, SupersetAgg: true, Exact: false,
+	}
+	for a, want := range decoupling {
+		if got := a.DecouplesWrites(); got != want {
+			t.Errorf("%v.DecouplesWrites = %v, want %v", a, got, want)
+		}
+	}
+	predicts := map[Algorithm]bool{
+		Lazy: false, Eager: false, Oracle: false,
+		Subset: true, SupersetCon: true, SupersetAgg: true, Exact: true,
+	}
+	for a, want := range predicts {
+		if got := a.UsesPredictor(); got != want {
+			t.Errorf("%v.UsesPredictor = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestDefaultPredictors(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		kind PredictorKind
+		name string
+	}{
+		{Lazy, PredictorNone, "None"},
+		{Eager, PredictorNone, "None"},
+		{Oracle, PredictorPerfect, "Perfect"},
+		{Subset, PredictorSubset, "Sub2k"},
+		{SupersetCon, PredictorSuperset, "Supy2k"},
+		{SupersetAgg, PredictorSuperset, "Supy2k"},
+		{Exact, PredictorExact, "Exa2k"},
+	}
+	for _, tc := range cases {
+		p := DefaultPredictorFor(tc.alg)
+		if p.Kind != tc.kind || p.Name != tc.name {
+			t.Errorf("DefaultPredictorFor(%v) = %s/%s, want %s/%s",
+				tc.alg, p.Kind, p.Name, tc.kind, tc.name)
+		}
+	}
+}
+
+func TestPredictorPresets(t *testing.T) {
+	if p := Sub2k(); p.Entries != 2048 || p.Assoc != 8 {
+		t.Errorf("Sub2k = %+v", p)
+	}
+	if p := SupY2k(); len(p.BloomFieldBits) != 3 || !p.ExcludeCache {
+		t.Errorf("SupY2k = %+v", p)
+	}
+	// Table 4: "y" filter fields 10,4,7; "n" filter fields 9,9,6.
+	y, n := SupY2k(), SupN2k()
+	if y.BloomFieldBits[0] != 10 || y.BloomFieldBits[1] != 4 || y.BloomFieldBits[2] != 7 {
+		t.Errorf("y filter fields = %v", y.BloomFieldBits)
+	}
+	if n.BloomFieldBits[0] != 9 || n.BloomFieldBits[1] != 9 || n.BloomFieldBits[2] != 6 {
+		t.Errorf("n filter fields = %v", n.BloomFieldBits)
+	}
+	if p := Exa8k(); p.Entries != 8192 || p.AccessCycles != 3 {
+		t.Errorf("Exa8k = %+v", p)
+	}
+}
+
+func TestPredictorKindString(t *testing.T) {
+	kinds := []PredictorKind{PredictorNone, PredictorSubset, PredictorSuperset, PredictorExact, PredictorPerfect}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("PredictorKind %d has bad/duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+}

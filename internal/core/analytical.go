@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/energy"
+)
+
+// Model is the closed-form analytical model behind Tables 1 and 3 and the
+// design-space chart of Figure 4. It assumes a perfectly uniform
+// distribution of accesses; SupplierProb scales between "one of the nodes
+// can supply the data" (1.0, the tables' assumption) and memory-bound
+// workloads.
+type Model struct {
+	// N is the number of CMP nodes on the ring.
+	N int
+	// LinkCycles, SnoopCycles, PredictorCycles are the unloaded costs of
+	// one ring hop, one CMP snoop, and one predictor check.
+	LinkCycles      float64
+	SnoopCycles     float64
+	PredictorCycles float64
+	// SupplierProb is the probability a read snoop finds any supplier.
+	SupplierProb float64
+	// FNRate / FPRate are the supplier predictor's false-negative /
+	// false-positive rates per predictor check.
+	FNRate float64
+	FPRate float64
+}
+
+// DefaultModel returns the Table 4 cost model with the Table 1 assumption
+// that a supplier always exists.
+func DefaultModel(n int) Model {
+	return Model{
+		N: n, LinkCycles: 39, SnoopCycles: 55, PredictorCycles: 2,
+		SupplierProb: 1.0,
+	}
+}
+
+// meanDistance is the expected ring distance to the supplier under a
+// uniform distribution over the other N-1 nodes: E[d] = N/2.
+func (m Model) meanDistance() float64 { return float64(m.N) / 2 }
+
+// ExpectedSnoops returns the average number of snoop operations per read
+// snoop request (Table 1 column 3, Table 3 column "Avg # Snoop
+// Operations").
+func (m Model) ExpectedSnoops(a config.Algorithm) float64 {
+	n := float64(m.N)
+	d := m.meanDistance()
+	p := m.SupplierProb
+	// When no supplier exists the request circles the whole ring; every
+	// snooping algorithm that snoops on negative predictions pays N-1.
+	switch a {
+	case config.Lazy:
+		// Snoop every node until the supplier: E[d] with a supplier,
+		// N-1 without. The paper's Table 1 quotes (N-1)/2 for the
+		// supplier case.
+		return p*((n-1)/2) + (1-p)*(n-1)
+	case config.Eager:
+		return n - 1
+	case config.Oracle:
+		return p * 1
+	case config.Subset:
+		// Snoops every node up to the supplier (both predictions snoop
+		// before it); a false negative at the supplier lets the request
+		// race on, snooping the remaining nodes too:
+		// Lazy + alpha*FN (Table 3), alpha = nodes past the supplier.
+		alpha := n - 1 - d
+		return p*((n-1)/2+m.FNRate*alpha) + (1-p)*(n-1)
+	case config.SupersetCon:
+		// 1 (the supplier) + false positives among the d-1 nodes before
+		// it; with no supplier, false positives across all N-1 nodes.
+		return p*(1+m.FPRate*(d-1)) + (1-p)*(m.FPRate*(n-1))
+	case config.SupersetAgg:
+		// The request passes every node (it races past the supplier),
+		// so false positives across all N-1 nodes are snooped.
+		return p*(1+m.FPRate*(n-2)) + (1-p)*(m.FPRate*(n-1))
+	case config.Exact:
+		return p * 1
+	case config.DynamicSuperset:
+		return m.ExpectedSnoops(config.SupersetAgg)
+	default:
+		panic(fmt.Sprintf("core: no analytical model for %v", a))
+	}
+}
+
+// ExpectedMessages returns the average number of simultaneous messages per
+// snoop request (Table 1 column 4 and Table 3's "Avg # Msgs"): 1 when the
+// request and reply always travel combined, approaching 2 when they split
+// for most of the ring.
+func (m Model) ExpectedMessages(a config.Algorithm) float64 {
+	n := float64(m.N)
+	d := m.meanDistance()
+	switch a {
+	case config.Lazy, config.Oracle, config.SupersetCon, config.Exact:
+		return 1
+	case config.Eager:
+		// Split from the first node on: 2N-1 segment transmissions over
+		// N segments ("not exactly twice": the first segment is shared).
+		return (2*n - 1) / n
+	case config.Subset:
+		// Splits at the first negative prediction (almost immediately),
+		// merges at the supplier's positive prediction, then travels
+		// combined. Splits again past the supplier on a false negative.
+		split := (d - 1) + m.FNRate*(n-d)
+		return (n + split) / n
+	case config.SupersetAgg:
+		// Travels combined until the first positive prediction; the
+		// expected first false positive among d-1 nodes, else the
+		// supplier itself, then split for the rest of the ring.
+		before := (d - 1) * m.FPRate // expected FPs before supplier
+		splitAt := d
+		if before >= 1 {
+			splitAt = 1 / m.FPRate
+		}
+		return (n + (n - splitAt)) / n
+	case config.DynamicSuperset:
+		return m.ExpectedMessages(config.SupersetAgg)
+	default:
+		panic(fmt.Sprintf("core: no analytical model for %v", a))
+	}
+}
+
+// UnloadedLatency returns the expected unloaded snoop-request latency
+// until the supplier's snoop completes (Figure 4's X axis), in cycles.
+func (m Model) UnloadedLatency(a config.Algorithm) float64 {
+	d := m.meanDistance()
+	l, s, pc := m.LinkCycles, m.SnoopCycles, m.PredictorCycles
+	switch a {
+	case config.Lazy:
+		// Snoop at each of the d nodes is on the critical path.
+		return d * (l + s)
+	case config.Eager:
+		return d*l + s
+	case config.Oracle:
+		return d*l + s
+	case config.Subset:
+		// Predictor check precedes each forward; a supplier false
+		// negative does not delay the data (the snoop still runs).
+		return d*(l+pc) + s
+	case config.SupersetCon:
+		// False positives put snoops on the critical path.
+		return d*(l+pc) + m.FPRate*(d-1)*s + s
+	case config.SupersetAgg, config.Exact, config.DynamicSuperset:
+		return d*(l+pc) + s
+	default:
+		panic(fmt.Sprintf("core: no analytical model for %v", a))
+	}
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Algorithm config.Algorithm
+	Latency   float64
+	SnoopOps  float64
+	Messages  float64
+}
+
+// Table1 returns the three baseline rows of Table 1 (Lazy, Eager, Oracle)
+// under the table's assumptions.
+func (m Model) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, a := range []config.Algorithm{config.Lazy, config.Eager, config.Oracle} {
+		rows = append(rows, Table1Row{
+			Algorithm: a,
+			Latency:   m.UnloadedLatency(a),
+			SnoopOps:  m.ExpectedSnoops(a),
+			Messages:  m.ExpectedMessages(a),
+		})
+	}
+	return rows
+}
+
+// Table3Row is one row of Table 3 for a Flexible Snooping algorithm.
+type Table3Row struct {
+	Algorithm      config.Algorithm
+	FalsePositives bool
+	FalseNegatives bool
+	OnPositive     Primitive
+	OnNegative     Primitive
+	Latency        float64
+	SnoopOps       float64
+	Messages       float64
+}
+
+// Table3 returns the four Flexible Snooping rows of Table 3.
+func (m Model) Table3() []Table3Row {
+	specs := []struct {
+		alg    config.Algorithm
+		fp, fn bool
+		pos    Primitive
+		neg    Primitive
+	}{
+		{config.Subset, false, true, SnoopThenForward, ForwardThenSnoop},
+		{config.SupersetCon, true, false, SnoopThenForward, Forward},
+		{config.SupersetAgg, true, false, ForwardThenSnoop, Forward},
+		{config.Exact, false, false, SnoopThenForward, Forward},
+	}
+	var rows []Table3Row
+	for _, s := range specs {
+		rows = append(rows, Table3Row{
+			Algorithm:      s.alg,
+			FalsePositives: s.fp,
+			FalseNegatives: s.fn,
+			OnPositive:     s.pos,
+			OnNegative:     s.neg,
+			Latency:        m.UnloadedLatency(s.alg),
+			SnoopOps:       m.ExpectedSnoops(s.alg),
+			Messages:       m.ExpectedMessages(s.alg),
+		})
+	}
+	return rows
+}
+
+// DesignPoint is one algorithm's placement in the Figure 4 design space.
+type DesignPoint struct {
+	Algorithm config.Algorithm
+	Latency   float64 // X: unloaded snoop request latency until supplier found
+	SnoopOps  float64 // Y: snoop operations per snoop request
+}
+
+// DesignSpace places every algorithm in the Figure 4 chart.
+func (m Model) DesignSpace() []DesignPoint {
+	var pts []DesignPoint
+	for _, a := range config.Algorithms() {
+		pts = append(pts, DesignPoint{
+			Algorithm: a,
+			Latency:   m.UnloadedLatency(a),
+			SnoopOps:  m.ExpectedSnoops(a),
+		})
+	}
+	return pts
+}
+
+// ExpectedPredictorChecks returns how many supplier-predictor lookups one
+// read snoop request performs: nodes up to the supplier for algorithms
+// that hold the message there, every node for those whose request races
+// past it.
+func (m Model) ExpectedPredictorChecks(a config.Algorithm) float64 {
+	n := float64(m.N)
+	d := m.meanDistance()
+	p := m.SupplierProb
+	switch a {
+	case config.Lazy, config.Eager:
+		return 0
+	case config.Oracle, config.SupersetCon, config.Exact:
+		// The message stops splitting/searching at the supplier.
+		return p*d + (1-p)*(n-1)
+	case config.Subset, config.SupersetAgg, config.DynamicSuperset:
+		// The request component races the whole ring.
+		return n - 1
+	default:
+		panic(fmt.Sprintf("core: no analytical model for %v", a))
+	}
+}
+
+// ExpectedEnergyNJ estimates the snoop-servicing energy of one read snoop
+// request under the Section 6.1.4 per-operation costs: ring-link message
+// transmissions, CMP snoops, and predictor lookups. (Exact's downgrade
+// write-backs depend on working-set pressure and are outside the
+// closed-form model.)
+func (m Model) ExpectedEnergyNJ(a config.Algorithm, p energy.Params) float64 {
+	segments := m.ExpectedMessages(a) * float64(m.N)
+	e := segments * p.RingLinkMsgNJ
+	e += m.ExpectedSnoops(a) * p.SnoopOpNJ
+	lookup := p.SubsetLookupNJ
+	switch a {
+	case config.SupersetCon, config.SupersetAgg, config.DynamicSuperset:
+		lookup = p.SupersetLookupNJ
+	}
+	e += m.ExpectedPredictorChecks(a) * lookup
+	return e
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/energy"
+)
+
+func TestPolicyTable3Actions(t *testing.T) {
+	// Table 3, transcribed: (algorithm, on positive, on negative).
+	cases := []struct {
+		alg      config.Algorithm
+		positive Primitive
+		negative Primitive
+	}{
+		{config.Oracle, SnoopThenForward, Forward},
+		{config.Subset, SnoopThenForward, ForwardThenSnoop},
+		{config.SupersetCon, SnoopThenForward, Forward},
+		{config.SupersetAgg, ForwardThenSnoop, Forward},
+		{config.Exact, SnoopThenForward, Forward},
+	}
+	for _, tc := range cases {
+		p := NewPolicy(tc.alg)
+		if got := p.DecideRead(func() bool { return true }); got.Primitive != tc.positive || !got.CheckedPredictor || !got.Predicted {
+			t.Errorf("%v positive -> %+v, want %v", tc.alg, got, tc.positive)
+		}
+		if got := p.DecideRead(func() bool { return false }); got.Primitive != tc.negative || !got.CheckedPredictor || got.Predicted {
+			t.Errorf("%v negative -> %+v, want %v", tc.alg, got, tc.negative)
+		}
+	}
+}
+
+func TestFixedPolicies(t *testing.T) {
+	lazy := NewPolicy(config.Lazy)
+	if got := lazy.DecideRead(nil); got.Primitive != SnoopThenForward || got.CheckedPredictor {
+		t.Errorf("Lazy -> %+v", got)
+	}
+	eager := NewPolicy(config.Eager)
+	if got := eager.DecideRead(nil); got.Primitive != ForwardThenSnoop || got.CheckedPredictor {
+		t.Errorf("Eager -> %+v", got)
+	}
+}
+
+func TestPredictedPolicyNeedsPredictor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Subset without predictor did not panic")
+		}
+	}()
+	NewPolicy(config.Subset).DecideRead(nil)
+}
+
+func TestWriteDecouplingMatchesClass(t *testing.T) {
+	for _, a := range config.Algorithms() {
+		p := NewPolicy(a)
+		if p.DecoupleWrites() != a.DecouplesWrites() {
+			t.Errorf("%v policy decoupling disagrees with config", a)
+		}
+	}
+}
+
+func TestDynamicSupersetSwitches(t *testing.T) {
+	d := NewDynamicSuperset()
+	if !d.Aggressive() {
+		t.Error("dynamic policy should start aggressive")
+	}
+	if got := d.DecideRead(func() bool { return true }); got.Primitive != ForwardThenSnoop {
+		t.Errorf("agg positive -> %v, want ForwardThenSnoop", got.Primitive)
+	}
+	d.SetAggressive(false)
+	if got := d.DecideRead(func() bool { return true }); got.Primitive != SnoopThenForward {
+		t.Errorf("con positive -> %v, want SnoopThenForward", got.Primitive)
+	}
+	// Negative predictions always Forward, either mode.
+	for _, mode := range []bool{true, false} {
+		d.SetAggressive(mode)
+		if got := d.DecideRead(func() bool { return false }); got.Primitive != Forward {
+			t.Errorf("mode=%v negative -> %v, want Forward", mode, got.Primitive)
+		}
+	}
+	if d.AggDecisions == 0 || d.ConDecisions == 0 {
+		t.Error("mode decision counters not advancing")
+	}
+}
+
+func TestPrimitiveSnoops(t *testing.T) {
+	if !ForwardThenSnoop.Snoops() || !SnoopThenForward.Snoops() {
+		t.Error("snooping primitives misclassified")
+	}
+	if Forward.Snoops() {
+		t.Error("Forward must not snoop")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	m := DefaultModel(8)
+	rows := m.Table1()
+	byAlg := map[config.Algorithm]Table1Row{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+	}
+	// Table 1: Lazy (N-1)/2 snoops, Eager N-1, Oracle 1.
+	if got := byAlg[config.Lazy].SnoopOps; got != 3.5 {
+		t.Errorf("Lazy snoops = %v, want (N-1)/2 = 3.5", got)
+	}
+	if got := byAlg[config.Eager].SnoopOps; got != 7 {
+		t.Errorf("Eager snoops = %v, want N-1 = 7", got)
+	}
+	if got := byAlg[config.Oracle].SnoopOps; got != 1 {
+		t.Errorf("Oracle snoops = %v, want 1", got)
+	}
+	// Messages: 1, ~2, 1.
+	if got := byAlg[config.Lazy].Messages; got != 1 {
+		t.Errorf("Lazy messages = %v, want 1", got)
+	}
+	if got := byAlg[config.Eager].Messages; got <= 1.8 || got >= 2 {
+		t.Errorf("Eager messages = %v, want just under 2", got)
+	}
+	if got := byAlg[config.Oracle].Messages; got != 1 {
+		t.Errorf("Oracle messages = %v, want 1", got)
+	}
+	// Latency: Lazy high, Eager and Oracle low (Table 1 column 2).
+	if byAlg[config.Lazy].Latency <= byAlg[config.Eager].Latency {
+		t.Error("Lazy must have higher latency than Eager")
+	}
+	if byAlg[config.Eager].Latency != byAlg[config.Oracle].Latency {
+		t.Error("Eager and Oracle share the same unloaded latency")
+	}
+}
+
+func TestTable3Properties(t *testing.T) {
+	m := DefaultModel(8)
+	m.FNRate = 0.05
+	m.FPRate = 0.3
+	rows := m.Table3()
+	if len(rows) != 4 {
+		t.Fatalf("Table 3 has %d rows, want 4", len(rows))
+	}
+	byAlg := map[config.Algorithm]Table3Row{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+	}
+	// FP/FN flags per Table 3.
+	if byAlg[config.Subset].FalsePositives || !byAlg[config.Subset].FalseNegatives {
+		t.Error("Subset: no false positives, yes false negatives")
+	}
+	if !byAlg[config.SupersetCon].FalsePositives || byAlg[config.SupersetCon].FalseNegatives {
+		t.Error("SupersetCon: yes false positives, no false negatives")
+	}
+	if byAlg[config.Exact].FalsePositives || byAlg[config.Exact].FalseNegatives {
+		t.Error("Exact: neither false positives nor false negatives")
+	}
+	// Snoop counts: Subset above Lazy; SupersetCon below SupersetAgg;
+	// Exact exactly 1.
+	lazy := m.ExpectedSnoops(config.Lazy)
+	if byAlg[config.Subset].SnoopOps <= lazy {
+		t.Errorf("Subset snoops %v should exceed Lazy %v", byAlg[config.Subset].SnoopOps, lazy)
+	}
+	if byAlg[config.SupersetCon].SnoopOps >= byAlg[config.SupersetAgg].SnoopOps {
+		t.Error("SupersetCon should snoop less than SupersetAgg")
+	}
+	if byAlg[config.Exact].SnoopOps != 1 {
+		t.Errorf("Exact snoops = %v, want 1", byAlg[config.Exact].SnoopOps)
+	}
+	// Messages: SupersetCon and Exact have 1 (like Lazy); Subset and
+	// SupersetAgg between 1 and 2.
+	if byAlg[config.SupersetCon].Messages != 1 || byAlg[config.Exact].Messages != 1 {
+		t.Error("SupersetCon/Exact should use a single combined message")
+	}
+	for _, a := range []config.Algorithm{config.Subset, config.SupersetAgg} {
+		msgs := byAlg[a].Messages
+		if msgs <= 1 || msgs >= 2 {
+			t.Errorf("%v messages = %v, want in (1,2)", a, msgs)
+		}
+	}
+	// Latency: SupersetCon medium (above Agg), others low.
+	if byAlg[config.SupersetCon].Latency <= byAlg[config.SupersetAgg].Latency {
+		t.Error("SupersetCon latency should exceed SupersetAgg (false positives on path)")
+	}
+}
+
+func TestDesignSpaceOrdering(t *testing.T) {
+	// Figure 4(b): Oracle and Exact at the origin region; Eager top-left
+	// (low latency, max snoops); Lazy bottom-right (high latency, medium
+	// snoops); Subset above Lazy; Superset variants near the origin.
+	m := DefaultModel(8)
+	m.FNRate = 0.05
+	m.FPRate = 0.3
+	pts := map[config.Algorithm]DesignPoint{}
+	for _, p := range m.DesignSpace() {
+		pts[p.Algorithm] = p
+	}
+	if len(pts) != 7 {
+		t.Fatalf("design space has %d points, want 7", len(pts))
+	}
+	if !(pts[config.Eager].SnoopOps > pts[config.Lazy].SnoopOps) {
+		t.Error("Eager should snoop more than Lazy")
+	}
+	if !(pts[config.Subset].SnoopOps > pts[config.Lazy].SnoopOps) {
+		t.Error("Subset sits above Lazy on the snoop axis (Figure 4b)")
+	}
+	if !(pts[config.Lazy].Latency > pts[config.Eager].Latency) {
+		t.Error("Lazy is the high-latency extreme")
+	}
+	for _, a := range []config.Algorithm{config.SupersetCon, config.SupersetAgg} {
+		if !(pts[a].SnoopOps < pts[config.Lazy].SnoopOps) {
+			t.Errorf("%v should snoop less than Lazy", a)
+		}
+	}
+	if pts[config.Exact].SnoopOps != pts[config.Oracle].SnoopOps {
+		t.Error("Exact and Oracle share the origin (1 snoop)")
+	}
+}
+
+func TestSupplierProbScalesSnoops(t *testing.T) {
+	// SPECjbb-like: rarely a supplier. Lazy approaches N-1 (Figure 6's
+	// "close to 7" observation), Oracle approaches 0.
+	m := DefaultModel(8)
+	m.SupplierProb = 0.1
+	if got := m.ExpectedSnoops(config.Lazy); got <= 6 {
+		t.Errorf("memory-bound Lazy snoops = %v, want near 7", got)
+	}
+	if got := m.ExpectedSnoops(config.Oracle); got >= 0.2 {
+		t.Errorf("memory-bound Oracle snoops = %v, want near 0", got)
+	}
+}
+
+func TestModelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm did not panic")
+		}
+	}()
+	DefaultModel(8).ExpectedSnoops(config.Algorithm(99))
+}
+
+func TestPrimitiveStrings(t *testing.T) {
+	names := map[Primitive]string{
+		ForwardThenSnoop: "ForwardThenSnoop",
+		SnoopThenForward: "SnoopThenForward",
+		Forward:          "Forward",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestExpectedEnergyOrdering(t *testing.T) {
+	// The analytical energy per read request must reproduce the Figure 9
+	// ordering: Eager most expensive, SupersetCon at or below Lazy,
+	// SupersetAgg between them, Oracle cheap.
+	m := DefaultModel(8)
+	m.FNRate = 0.02
+	m.FPRate = 0.3
+	p := energy.DefaultParams()
+	e := map[config.Algorithm]float64{}
+	for _, a := range config.Algorithms() {
+		e[a] = m.ExpectedEnergyNJ(a, p)
+	}
+	if !(e[config.Eager] > e[config.SupersetAgg]) {
+		t.Errorf("Eager %.2f <= SupersetAgg %.2f", e[config.Eager], e[config.SupersetAgg])
+	}
+	if !(e[config.SupersetAgg] > e[config.Lazy]) {
+		t.Errorf("SupersetAgg %.2f <= Lazy %.2f", e[config.SupersetAgg], e[config.Lazy])
+	}
+	if e[config.SupersetCon] > e[config.Lazy] {
+		t.Errorf("SupersetCon %.2f above Lazy %.2f (paper: slightly below)", e[config.SupersetCon], e[config.Lazy])
+	}
+	if !(e[config.Oracle] < e[config.Lazy]) {
+		t.Errorf("Oracle %.2f >= Lazy %.2f", e[config.Oracle], e[config.Lazy])
+	}
+	// Eager ~1.8x Lazy at full supplier probability mirrors Figure 9.
+	ratio := e[config.Eager] / e[config.Lazy]
+	if ratio < 1.4 || ratio > 2.2 {
+		t.Errorf("Eager/Lazy energy ratio = %.2f, want ~1.8", ratio)
+	}
+}
+
+func TestExpectedPredictorChecks(t *testing.T) {
+	m := DefaultModel(8)
+	if m.ExpectedPredictorChecks(config.Lazy) != 0 || m.ExpectedPredictorChecks(config.Eager) != 0 {
+		t.Error("non-predicting algorithms must not check predictors")
+	}
+	// Racing algorithms check every node; holding algorithms only up to
+	// the supplier.
+	if got := m.ExpectedPredictorChecks(config.SupersetAgg); got != 7 {
+		t.Errorf("SupersetAgg checks = %v, want 7", got)
+	}
+	con := m.ExpectedPredictorChecks(config.SupersetCon)
+	if con >= 7 || con <= 0 {
+		t.Errorf("SupersetCon checks = %v, want in (0,7)", con)
+	}
+}

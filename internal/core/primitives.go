@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the Flexible
+// Snooping taxonomy (Sections 3 and 4).
+//
+// A node receiving a snoop request executes one of three primitive
+// operations (Table 2):
+//
+//   - ForwardThenSnoop: forward the request immediately, snoop in
+//     parallel, and send/merge a trailing reply when the local snoop and
+//     all predecessors' outcomes are known.
+//   - SnoopThenForward: hold the message, snoop, and forward a single
+//     combined request/reply when the snoop completes.
+//   - Forward: pass the message through untouched, skipping the snoop.
+//
+// An algorithm is a policy choosing a primitive from the supplier
+// predictor's output. The package also provides the closed-form analytical
+// model behind Tables 1 and 3 and the design-space placement of Figure 4.
+package core
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/config"
+)
+
+// Primitive is one of the three per-node actions of Table 2.
+type Primitive int
+
+const (
+	// ForwardThenSnoop forwards first, snoops in parallel.
+	ForwardThenSnoop Primitive = iota
+	// SnoopThenForward snoops first, forwards a combined R/R after.
+	SnoopThenForward
+	// Forward skips the snoop entirely (adaptive filtering).
+	Forward
+)
+
+func (p Primitive) String() string {
+	switch p {
+	case ForwardThenSnoop:
+		return "ForwardThenSnoop"
+	case SnoopThenForward:
+		return "SnoopThenForward"
+	case Forward:
+		return "Forward"
+	default:
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+}
+
+// Snoops reports whether the primitive performs a snoop operation.
+func (p Primitive) Snoops() bool { return p != Forward }
+
+// Decision is a policy's choice for one arriving snoop request.
+type Decision struct {
+	Primitive Primitive
+	// CheckedPredictor is true when the supplier predictor was consulted
+	// (it costs energy and, for some primitives, latency).
+	CheckedPredictor bool
+	// Predicted is the predictor's output when consulted.
+	Predicted bool
+}
+
+// Policy maps predictor outcomes to primitives for one algorithm.
+//
+// DecideRead is called with a thunk that consults the node's supplier
+// predictor; policies that never predict (Lazy, Eager) must not call it.
+type Policy interface {
+	// Algorithm identifies the policy.
+	Algorithm() config.Algorithm
+	// DecideRead picks the primitive for an arriving read snoop request.
+	DecideRead(predict func() bool) Decision
+	// DecoupleWrites reports whether write snoops split into request +
+	// reply for parallel invalidation (Section 5.3).
+	DecoupleWrites() bool
+}
+
+// NewPolicy constructs the policy for an algorithm. Table 3, rows in
+// paper order:
+//
+//	Subset:      positive -> SnoopThenForward, negative -> ForwardThenSnoop
+//	SupersetCon: positive -> SnoopThenForward, negative -> Forward
+//	SupersetAgg: positive -> ForwardThenSnoop, negative -> Forward
+//	Exact:       positive -> SnoopThenForward, negative -> Forward
+//
+// Lazy always SnoopThenForward, Eager always ForwardThenSnoop, Oracle
+// snoops only at the (perfectly predicted) supplier.
+func NewPolicy(a config.Algorithm) Policy {
+	switch a {
+	case config.Lazy:
+		return fixedPolicy{alg: a, prim: SnoopThenForward}
+	case config.Eager:
+		return fixedPolicy{alg: a, prim: ForwardThenSnoop}
+	case config.Oracle:
+		return predictedPolicy{alg: a, onPositive: SnoopThenForward, onNegative: Forward}
+	case config.Subset:
+		return predictedPolicy{alg: a, onPositive: SnoopThenForward, onNegative: ForwardThenSnoop}
+	case config.SupersetCon:
+		return predictedPolicy{alg: a, onPositive: SnoopThenForward, onNegative: Forward}
+	case config.SupersetAgg:
+		return predictedPolicy{alg: a, onPositive: ForwardThenSnoop, onNegative: Forward}
+	case config.Exact:
+		return predictedPolicy{alg: a, onPositive: SnoopThenForward, onNegative: Forward}
+	case config.DynamicSuperset:
+		return NewDynamicSuperset()
+	default:
+		panic(fmt.Sprintf("core: no policy for algorithm %v", a))
+	}
+}
+
+// fixedPolicy always executes the same primitive (Lazy, Eager).
+type fixedPolicy struct {
+	alg  config.Algorithm
+	prim Primitive
+}
+
+func (p fixedPolicy) Algorithm() config.Algorithm { return p.alg }
+
+func (p fixedPolicy) DecideRead(func() bool) Decision {
+	return Decision{Primitive: p.prim}
+}
+
+func (p fixedPolicy) DecoupleWrites() bool { return p.alg.DecouplesWrites() }
+
+// predictedPolicy consults the supplier predictor and maps each outcome to
+// a primitive (Table 3).
+type predictedPolicy struct {
+	alg        config.Algorithm
+	onPositive Primitive
+	onNegative Primitive
+}
+
+func (p predictedPolicy) Algorithm() config.Algorithm { return p.alg }
+
+func (p predictedPolicy) DecideRead(predict func() bool) Decision {
+	if predict == nil {
+		panic(fmt.Sprintf("core: %v requires a supplier predictor", p.alg))
+	}
+	if predict() {
+		return Decision{Primitive: p.onPositive, CheckedPredictor: true, Predicted: true}
+	}
+	return Decision{Primitive: p.onNegative, CheckedPredictor: true, Predicted: false}
+}
+
+func (p predictedPolicy) DecoupleWrites() bool { return p.alg.DecouplesWrites() }
+
+// DynamicSuperset is the adaptive system the paper envisions in Section
+// 6.1.5: it uses a superset predictor and switches the positive-prediction
+// action between the SupersetAgg behaviour (ForwardThenSnoop; fastest) and
+// the SupersetCon behaviour (SnoopThenForward; most energy-efficient) at
+// run time, e.g. under an energy budget.
+type DynamicSuperset struct {
+	aggressive bool
+
+	// AggDecisions / ConDecisions count decisions taken in each mode.
+	AggDecisions uint64
+	ConDecisions uint64
+}
+
+// NewDynamicSuperset starts in aggressive (high-performance) mode.
+func NewDynamicSuperset() *DynamicSuperset { return &DynamicSuperset{aggressive: true} }
+
+// Algorithm returns config.DynamicSuperset.
+func (p *DynamicSuperset) Algorithm() config.Algorithm { return config.DynamicSuperset }
+
+// SetAggressive switches between the Agg (true) and Con (false) actions.
+func (p *DynamicSuperset) SetAggressive(agg bool) { p.aggressive = agg }
+
+// Aggressive reports the current mode.
+func (p *DynamicSuperset) Aggressive() bool { return p.aggressive }
+
+// DecideRead behaves as SupersetAgg or SupersetCon depending on the mode.
+func (p *DynamicSuperset) DecideRead(predict func() bool) Decision {
+	if predict == nil {
+		panic("core: DynamicSuperset requires a supplier predictor")
+	}
+	if p.aggressive {
+		p.AggDecisions++
+	} else {
+		p.ConDecisions++
+	}
+	if predict() {
+		prim := SnoopThenForward
+		if p.aggressive {
+			prim = ForwardThenSnoop
+		}
+		return Decision{Primitive: prim, CheckedPredictor: true, Predicted: true}
+	}
+	return Decision{Primitive: Forward, CheckedPredictor: true, Predicted: false}
+}
+
+// DecoupleWrites: the dynamic policy keeps the Eager-class write path.
+func (p *DynamicSuperset) DecoupleWrites() bool { return true }

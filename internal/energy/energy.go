@@ -1,0 +1,159 @@
+// Package energy accounts for the energy consumed servicing snoop requests
+// and replies, reproducing the accounting of Section 6.1.4: snooping nodes
+// other than the requester, accessing and updating the supplier predictors,
+// transmitting messages on ring links, and — for the Exact algorithm — the
+// line downgrades with their induced memory write-backs and re-reads.
+//
+// The per-operation constants are the published outputs of the tools the
+// paper used (CACTI, Orion, the HyperTransport I/O Link Specification and
+// Micron's System-Power Calculator): 3.17 nJ per snoop message per ring
+// link, 0.69 nJ per CMP snoop, 24 nJ per main-memory access.
+package energy
+
+import "fmt"
+
+// Category labels one source of snoop-servicing energy.
+type Category int
+
+const (
+	// RingLink: transmission of a snoop request/reply over one ring link.
+	RingLink Category = iota
+	// SnoopOp: one CMP bus access + L2 tag snoop.
+	SnoopOp
+	// Predictor: supplier-predictor lookups and training updates.
+	Predictor
+	// MemoryExtra: main-memory accesses attributable to the snooping
+	// algorithm itself (Exact's downgrade write-backs and the re-reads
+	// of downgraded lines).
+	MemoryExtra
+	// DowngradeOp: the cache access that downgrades a line when the
+	// Exact predictor evicts its entry.
+	DowngradeOp
+
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case RingLink:
+		return "ring-link"
+	case SnoopOp:
+		return "snoop-op"
+	case Predictor:
+		return "predictor"
+	case MemoryExtra:
+		return "memory-extra"
+	case DowngradeOp:
+		return "downgrade-op"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all accounting categories.
+func Categories() []Category {
+	return []Category{RingLink, SnoopOp, Predictor, MemoryExtra, DowngradeOp}
+}
+
+// Params holds the per-operation energies in nanojoules.
+type Params struct {
+	RingLinkMsgNJ float64 // one snoop message over one ring link
+	SnoopOpNJ     float64 // one CMP snoop (bus + all L2 tag arrays)
+	// Subset/exact predictor cache access (CACTI-class small SRAM).
+	SubsetLookupNJ float64
+	// Superset predictor access: Bloom filter banks + exclude cache.
+	SupersetLookupNJ float64
+	// Training updates (insert/remove/counter update).
+	SubsetUpdateNJ   float64
+	SupersetUpdateNJ float64
+	MemAccessNJ      float64 // one DRAM line read or write
+	DowngradeNJ      float64 // cache access performing a downgrade
+}
+
+// DefaultParams returns the paper's published constants, with CACTI-class
+// estimates for the small predictor structures (the paper reports these
+// are substantial for the superset predictors — enough that SupersetCon
+// lands only slightly below Lazy).
+func DefaultParams() Params {
+	return Params{
+		RingLinkMsgNJ:    3.17,
+		SnoopOpNJ:        0.69,
+		SubsetLookupNJ:   0.05,
+		SupersetLookupNJ: 0.18,
+		SubsetUpdateNJ:   0.05,
+		SupersetUpdateNJ: 0.22,
+		MemAccessNJ:      24.0,
+		DowngradeNJ:      0.69,
+	}
+}
+
+// Meter accumulates energy by category. The zero value uses zero-cost
+// params; build with NewMeter.
+type Meter struct {
+	p      Params
+	counts [numCategories]uint64
+	nj     [numCategories]float64
+}
+
+// NewMeter returns a meter using the given parameters.
+func NewMeter(p Params) *Meter { return &Meter{p: p} }
+
+func (m *Meter) add(c Category, n uint64, njEach float64) {
+	m.counts[c] += n
+	m.nj[c] += float64(n) * njEach
+}
+
+// AddRingLinks records a snoop message crossing n ring links.
+func (m *Meter) AddRingLinks(n int) { m.add(RingLink, uint64(n), m.p.RingLinkMsgNJ) }
+
+// AddSnoopOp records one CMP snoop operation.
+func (m *Meter) AddSnoopOp() { m.add(SnoopOp, 1, m.p.SnoopOpNJ) }
+
+// AddPredictorLookup records one supplier-predictor check.
+func (m *Meter) AddPredictorLookup(superset bool) {
+	if superset {
+		m.add(Predictor, 1, m.p.SupersetLookupNJ)
+	} else {
+		m.add(Predictor, 1, m.p.SubsetLookupNJ)
+	}
+}
+
+// AddPredictorUpdate records one training update.
+func (m *Meter) AddPredictorUpdate(superset bool) {
+	if superset {
+		m.add(Predictor, 1, m.p.SupersetUpdateNJ)
+	} else {
+		m.add(Predictor, 1, m.p.SubsetUpdateNJ)
+	}
+}
+
+// AddExtraMemAccess records a main-memory access attributable to the
+// snooping algorithm (downgrade write-back or re-read).
+func (m *Meter) AddExtraMemAccess() { m.add(MemoryExtra, 1, m.p.MemAccessNJ) }
+
+// AddDowngradeOp records the cache operation performing a downgrade.
+func (m *Meter) AddDowngradeOp() { m.add(DowngradeOp, 1, m.p.DowngradeNJ) }
+
+// Count returns the number of operations recorded in a category.
+func (m *Meter) Count(c Category) uint64 { return m.counts[c] }
+
+// NJ returns the accumulated nanojoules of a category.
+func (m *Meter) NJ(c Category) float64 { return m.nj[c] }
+
+// TotalNJ returns total accumulated nanojoules across categories.
+func (m *Meter) TotalNJ() float64 {
+	t := 0.0
+	for _, v := range m.nj {
+		t += v
+	}
+	return t
+}
+
+// Breakdown returns a copy of the per-category totals in nanojoules.
+func (m *Meter) Breakdown() map[Category]float64 {
+	out := make(map[Category]float64, numCategories)
+	for c := Category(0); c < numCategories; c++ {
+		out[c] = m.nj[c]
+	}
+	return out
+}

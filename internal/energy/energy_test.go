@@ -1,0 +1,106 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.RingLinkMsgNJ != 3.17 {
+		t.Errorf("ring link = %v nJ, want 3.17 (Section 6.1.4)", p.RingLinkMsgNJ)
+	}
+	if p.SnoopOpNJ != 0.69 {
+		t.Errorf("snoop op = %v nJ, want 0.69", p.SnoopOpNJ)
+	}
+	if p.MemAccessNJ != 24.0 {
+		t.Errorf("memory access = %v nJ, want 24", p.MemAccessNJ)
+	}
+	// The paper notes ring links dominate snoops by a wide margin.
+	if p.RingLinkMsgNJ <= p.SnoopOpNJ {
+		t.Error("ring link energy should exceed snoop energy")
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	m := NewMeter(DefaultParams())
+	m.AddRingLinks(7)
+	m.AddSnoopOp()
+	m.AddSnoopOp()
+	m.AddExtraMemAccess()
+	if m.Count(RingLink) != 7 {
+		t.Errorf("ring link count = %d, want 7", m.Count(RingLink))
+	}
+	if !almostEqual(m.NJ(RingLink), 7*3.17) {
+		t.Errorf("ring link nJ = %v, want %v", m.NJ(RingLink), 7*3.17)
+	}
+	if !almostEqual(m.NJ(SnoopOp), 2*0.69) {
+		t.Errorf("snoop nJ = %v", m.NJ(SnoopOp))
+	}
+	want := 7*3.17 + 2*0.69 + 24.0
+	if !almostEqual(m.TotalNJ(), want) {
+		t.Errorf("total = %v, want %v", m.TotalNJ(), want)
+	}
+}
+
+func TestPredictorEnergy(t *testing.T) {
+	p := DefaultParams()
+	m := NewMeter(p)
+	m.AddPredictorLookup(false)
+	m.AddPredictorLookup(true)
+	m.AddPredictorUpdate(false)
+	m.AddPredictorUpdate(true)
+	want := p.SubsetLookupNJ + p.SupersetLookupNJ + p.SubsetUpdateNJ + p.SupersetUpdateNJ
+	if !almostEqual(m.NJ(Predictor), want) {
+		t.Errorf("predictor nJ = %v, want %v", m.NJ(Predictor), want)
+	}
+	if m.Count(Predictor) != 4 {
+		t.Errorf("predictor count = %d, want 4", m.Count(Predictor))
+	}
+	// Superset structures must cost more than subset ones (the paper's
+	// explanation of why SupersetCon lands only slightly below Lazy).
+	if p.SupersetLookupNJ <= p.SubsetLookupNJ {
+		t.Error("superset lookup should cost more than subset lookup")
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := NewMeter(DefaultParams())
+	m.AddRingLinks(3)
+	m.AddSnoopOp()
+	m.AddDowngradeOp()
+	m.AddExtraMemAccess()
+	m.AddPredictorLookup(true)
+	sum := 0.0
+	for _, v := range m.Breakdown() {
+		sum += v
+	}
+	if !almostEqual(sum, m.TotalNJ()) {
+		t.Errorf("breakdown sum %v != total %v", sum, m.TotalNJ())
+	}
+}
+
+func TestCategoryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Errorf("category %d has empty/duplicate name %q", c, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestZeroMeterIsFree(t *testing.T) {
+	var m Meter
+	m.AddRingLinks(10)
+	m.AddSnoopOp()
+	if m.TotalNJ() != 0 {
+		t.Errorf("zero-params meter accumulated %v nJ", m.TotalNJ())
+	}
+	if m.Count(RingLink) != 10 {
+		t.Errorf("zero meter lost counts: %d", m.Count(RingLink))
+	}
+}

@@ -1,0 +1,144 @@
+// Package interconnect models the 2-D torus that carries data-transfer
+// messages between CMPs (Table 4). Snoop messages never use it; they are
+// confined to the embedded ring (package ring).
+//
+// Routing is dimension-order (X then Y) with minimal wraparound. Each
+// directed link is modelled as a serially-occupied resource, so data
+// messages contend for bandwidth: a 64-byte line occupies each link it
+// crosses for the serialization time (Table 4: 32 GB/s links).
+package interconnect
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/bus"
+	"flexsnoop/internal/sim"
+)
+
+// Torus is a width x height bidirectional 2-D torus with per-hop latency
+// and per-link occupancy. Node i sits at (i % width, i / width).
+type Torus struct {
+	width, height int
+	hopCycles     int
+	serialization int
+
+	// links[from][to] models each directed physical channel between
+	// neighbouring slots; allocated lazily.
+	links map[int]map[int]*bus.Bus
+
+	// Messages counts data messages routed; HopsTotal the hops they took.
+	Messages  uint64
+	HopsTotal uint64
+	// ContentionCycles accumulates cycles messages waited for busy links.
+	ContentionCycles uint64
+}
+
+// NewTorus builds a torus for n nodes. The torus may have more slots than
+// nodes; extra slots are simply unused.
+func NewTorus(width, height, hopCycles, serializationCycles, nodes int) *Torus {
+	if width < 1 || height < 1 || width*height < nodes {
+		panic(fmt.Sprintf("interconnect: %dx%d torus cannot hold %d nodes", width, height, nodes))
+	}
+	return &Torus{
+		width: width, height: height,
+		hopCycles: hopCycles, serialization: serializationCycles,
+		links: make(map[int]map[int]*bus.Bus),
+	}
+}
+
+func (t *Torus) slot(x, y int) int { return y*t.width + x }
+
+// step returns the next slot from (x,y) moving one minimal hop toward
+// (tx,ty), X dimension first (dimension-order routing).
+func (t *Torus) step(x, y, tx, ty int) (int, int) {
+	if x != tx {
+		return x + dirTo(x, tx, t.width), y
+	}
+	return x, y + dirTo(y, ty, t.height)
+}
+
+// dirTo returns -1 or +1: the minimal wraparound direction from a to b in
+// a dimension of the given size. Ties go positive.
+func dirTo(a, b, size int) int {
+	fwd := ((b-a)%size + size) % size
+	if fwd <= size-fwd {
+		return 1
+	}
+	return -1
+}
+
+// Route returns the dimension-order path between two nodes, excluding the
+// source slot and including the destination.
+func (t *Torus) Route(from, to int) []int {
+	var path []int
+	x, y := from%t.width, from/t.width
+	tx, ty := to%t.width, to/t.width
+	for x != tx || y != ty {
+		nx, ny := t.step(x, y, tx, ty)
+		// Wraparound steps.
+		nx = ((nx % t.width) + t.width) % t.width
+		ny = ((ny % t.height) + t.height) % t.height
+		path = append(path, t.slot(nx, ny))
+		x, y = nx, ny
+	}
+	return path
+}
+
+// Hops returns the minimal hop count between two nodes with wraparound in
+// both dimensions.
+func (t *Torus) Hops(from, to int) int {
+	fx, fy := from%t.width, from/t.width
+	tx, ty := to%t.width, to/t.width
+	dx := abs(fx - tx)
+	if w := t.width - dx; w < dx {
+		dx = w
+	}
+	dy := abs(fy - ty)
+	if h := t.height - dy; h < dy {
+		dy = h
+	}
+	return dx + dy
+}
+
+func (t *Torus) link(from, to int) *bus.Bus {
+	m, ok := t.links[from]
+	if !ok {
+		m = make(map[int]*bus.Bus)
+		t.links[from] = m
+	}
+	b, ok := m[to]
+	if !ok {
+		b = &bus.Bus{}
+		m[to] = b
+	}
+	return b
+}
+
+// Latency returns the delivery latency of one data message sent now from
+// one node to another, reserving every link on its dimension-order path
+// (messages contend for link bandwidth). Same-node messages cost only the
+// serialization time (on-chip delivery).
+func (t *Torus) Latency(now sim.Time, from, to int) sim.Time {
+	t.Messages++
+	if from == to {
+		return sim.Time(t.serialization)
+	}
+	cur := from
+	depart := now
+	for _, next := range t.Route(from, to) {
+		t.HopsTotal++
+		l := t.link(cur, next)
+		start := l.Reserve(depart, sim.Time(t.serialization))
+		t.ContentionCycles += uint64(start - depart)
+		depart = start + sim.Time(t.hopCycles)
+		cur = next
+	}
+	return depart + sim.Time(t.serialization) - now
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,159 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexsnoop/internal/sim"
+)
+
+func TestHopsOn4x2(t *testing.T) {
+	// Node layout: 0 1 2 3 / 4 5 6 7.
+	tor := NewTorus(4, 2, 25, 12, 8)
+	cases := []struct {
+		from, to, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1}, // wraparound in x
+		{0, 2, 2},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 7, 2}, // wrap x + down
+		{1, 6, 2},
+		{3, 4, 2},
+	}
+	for _, tc := range cases {
+		if got := tor.Hops(tc.from, tc.to); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestLatencyUncontended(t *testing.T) {
+	tor := NewTorus(4, 2, 25, 12, 8)
+	// Uncontended: hops x hopCycles + one ejection serialization.
+	if got := tor.Latency(0, 0, 2); got != 2*25+12 {
+		t.Errorf("Latency(0,2) = %d, want 62", got)
+	}
+	if got := tor.Latency(0, 3, 3); got != 12 {
+		t.Errorf("same-node latency = %d, want serialization only (12)", got)
+	}
+	if tor.Messages != 2 || tor.HopsTotal != 2 {
+		t.Errorf("stats = %d msgs / %d hops, want 2/2", tor.Messages, tor.HopsTotal)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	tor := NewTorus(4, 2, 25, 12, 8)
+	// Two messages over the same first link at the same instant: the
+	// second waits the 12-cycle serialization of the first.
+	a := tor.Latency(0, 0, 1)
+	bLat := tor.Latency(0, 0, 1)
+	if a != 25+12 {
+		t.Errorf("first message latency = %d, want 37", a)
+	}
+	if bLat != 25+12+12 {
+		t.Errorf("second message latency = %d, want 49 (12 cycles of contention)", bLat)
+	}
+	if tor.ContentionCycles != 12 {
+		t.Errorf("ContentionCycles = %d, want 12", tor.ContentionCycles)
+	}
+	// Disjoint links don't contend.
+	if got := tor.Latency(0, 2, 3); got != 25+12 {
+		t.Errorf("disjoint-link latency = %d, want 37", got)
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	tor := NewTorus(4, 2, 25, 12, 8)
+	// 1 -> 7: X first with wraparound (1 -> 0 -> ... shortest X from 1 to
+	// 3 is backward: 1 -> 0 -> 3? dist(1->3) fwd=2 back=2: tie goes
+	// positive: 1 -> 2 -> 3), then Y (3 -> 7).
+	path := tor.Route(1, 7)
+	want := []int{2, 3, 7}
+	if len(path) != len(want) {
+		t.Fatalf("Route(1,7) = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("Route(1,7) = %v, want %v", path, want)
+		}
+	}
+	// Wraparound in X: 0 -> 3 is one backward hop.
+	path = tor.Route(0, 3)
+	if len(path) != 1 || path[0] != 3 {
+		t.Errorf("Route(0,3) = %v, want [3]", path)
+	}
+	if got := tor.Route(5, 5); len(got) != 0 {
+		t.Errorf("Route(5,5) = %v, want empty", got)
+	}
+}
+
+// Property: route length always equals the minimal hop count, and every
+// consecutive pair of slots is a neighbouring pair.
+func TestRouteMatchesHops(t *testing.T) {
+	tor := NewTorus(4, 4, 1, 1, 16)
+	f := func(a, b uint8) bool {
+		from, to := int(a%16), int(b%16)
+		path := tor.Route(from, to)
+		if len(path) != tor.Hops(from, to) {
+			return false
+		}
+		cur := from
+		for _, next := range path {
+			if tor.Hops(cur, next) != 1 {
+				return false
+			}
+			cur = next
+		}
+		return cur == to
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsSymmetricAndBounded(t *testing.T) {
+	tor := NewTorus(4, 2, 25, 12, 8)
+	f := func(a, b uint8) bool {
+		from, to := int(a%8), int(b%8)
+		h := tor.Hops(from, to)
+		return h == tor.Hops(to, from) && h >= 0 && h <= 2+1 // max 2 in x + 1 in y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	tor := NewTorus(4, 4, 1, 0, 16)
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			for c := 0; c < 16; c++ {
+				if tor.Hops(a, c) > tor.Hops(a, b)+tor.Hops(b, c) {
+					t.Fatalf("triangle inequality violated for %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLatencyMonotoneInTime(t *testing.T) {
+	// Sending later never makes a message arrive earlier.
+	tor := NewTorus(4, 2, 25, 12, 8)
+	early := sim.Time(0) + tor.Latency(0, 0, 2)
+	late := sim.Time(100) + tor.Latency(100, 0, 2)
+	if late < early {
+		t.Errorf("later send arrived earlier: %d < %d", late, early)
+	}
+}
+
+func TestBadTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("undersized torus did not panic")
+		}
+	}()
+	NewTorus(2, 2, 1, 0, 8)
+}

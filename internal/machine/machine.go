@@ -1,0 +1,280 @@
+// Package machine assembles the full simulated multiprocessor — kernel,
+// coherence engine, timing cores and workload sources — and runs complete
+// experiments, producing the per-run metrics behind every figure of the
+// evaluation.
+package machine
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/checker"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/core"
+	"flexsnoop/internal/cpu"
+	"flexsnoop/internal/energy"
+	"flexsnoop/internal/protocol"
+	"flexsnoop/internal/sim"
+	"flexsnoop/internal/workload"
+)
+
+// GovernorConfig tunes the dynamic SupersetAgg/SupersetCon switcher — the
+// adaptive system the paper envisions in Section 6.1.5.
+type GovernorConfig struct {
+	// BudgetNJPerKCycle is the snoop-energy budget; above it the system
+	// switches to the SupersetCon action, below it back to SupersetAgg.
+	BudgetNJPerKCycle float64
+	// IntervalCycles is how often the governor re-evaluates.
+	IntervalCycles sim.Time
+}
+
+// DefaultGovernor returns a governor that re-evaluates every 20k cycles.
+func DefaultGovernor(budgetNJPerKCycle float64) *GovernorConfig {
+	return &GovernorConfig{BudgetNJPerKCycle: budgetNJPerKCycle, IntervalCycles: 20000}
+}
+
+// Experiment describes one simulation run.
+type Experiment struct {
+	Machine   config.MachineConfig
+	Algorithm config.Algorithm
+	// AlgorithmPerNode, when non-empty, gives each CMP node its own
+	// snooping policy (the paper notes a message may be split and
+	// recombined multiple times when nodes choose different primitives).
+	// Length must equal Machine.NumCMPs; Algorithm then only labels the
+	// result.
+	AlgorithmPerNode []config.Algorithm
+	Predictor        config.PredictorConfig
+	Energy           energy.Params
+	Workload         workload.Profile
+
+	// OpsPerCore bounds each core's reference stream (generator mode).
+	OpsPerCore uint64
+	Seed       int64
+
+	// Traces, when non-nil, replaces the generators: stream i drives
+	// global core i (trace-driven mode, as the paper's SPEC runs).
+	Traces [][]workload.Op
+
+	// CheckInvariants arms the coherence checker (every 64 completions).
+	CheckInvariants bool
+
+	// Governor enables the dynamic adaptive system; only meaningful with
+	// Algorithm == config.DynamicSuperset.
+	Governor *GovernorConfig
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles sim.Time
+
+	// WarmupCycles discards all statistics and energy accumulated before
+	// this cycle: the reported Result covers only the steady-state
+	// measurement window (caches and predictors stay warm).
+	WarmupCycles sim.Time
+}
+
+// New returns an experiment with Table 4 defaults for an algorithm and
+// workload: the Section 6.1 predictor, the paper's per-class core count,
+// and the published energy constants.
+func New(alg config.Algorithm, prof workload.Profile) Experiment {
+	m := config.DefaultMachine()
+	m.CoresPerCMP = prof.Class.CoresPerCMP()
+	return Experiment{
+		Machine:    m,
+		Algorithm:  alg,
+		Predictor:  config.DefaultPredictorFor(alg),
+		Energy:     energy.DefaultParams(),
+		Workload:   prof,
+		OpsPerCore: 3000,
+		Seed:       1,
+		MaxCycles:  2_000_000_000,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Algorithm config.Algorithm
+	Workload  string
+	Predictor string
+
+	// Cycles is the execution time: the cycle the last core retired.
+	Cycles       sim.Time
+	Instructions uint64
+	IPC          float64
+
+	Stats protocol.Stats
+
+	// EnergyNJ is the snoop-servicing energy of Section 6.1.4.
+	EnergyNJ        float64
+	EnergyBreakdown map[energy.Category]float64
+
+	// GovernorAggFrac is the fraction of predictor decisions taken in
+	// aggressive mode (dynamic runs only).
+	GovernorAggFrac float64
+
+	// WarmupCycles echoes the experiment's measurement-window start.
+	WarmupCycles sim.Time
+}
+
+// Run executes the experiment.
+func Run(exp Experiment) (Result, error) {
+	if err := exp.Workload.Validate(); err != nil {
+		return Result{}, err
+	}
+	if exp.OpsPerCore == 0 && exp.Traces == nil {
+		return Result{}, fmt.Errorf("machine: experiment has no work")
+	}
+
+	if len(exp.AlgorithmPerNode) != 0 && len(exp.AlgorithmPerNode) != exp.Machine.NumCMPs {
+		return Result{}, fmt.Errorf("machine: %d per-node algorithms for %d CMPs",
+			len(exp.AlgorithmPerNode), exp.Machine.NumCMPs)
+	}
+	kern := sim.NewKernel()
+	dynamics := make([]*core.DynamicSuperset, 0)
+	policies := make([]core.Policy, exp.Machine.NumCMPs)
+	for i := range policies {
+		alg := exp.Algorithm
+		if len(exp.AlgorithmPerNode) > 0 {
+			alg = exp.AlgorithmPerNode[i]
+		}
+		p := core.NewPolicy(alg)
+		if d, ok := p.(*core.DynamicSuperset); ok {
+			dynamics = append(dynamics, d)
+		}
+		policies[i] = p
+	}
+
+	eng, err := protocol.NewEngine(kern, protocol.Options{
+		Machine:   exp.Machine,
+		Predictor: exp.Predictor,
+		PolicyFor: func(i int) core.Policy { return policies[i] },
+		Energy:    exp.Energy,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if exp.CheckInvariants {
+		eng.SetInvariantChecker(64, func() error { return checker.Check(eng) })
+	}
+
+	totalCores := exp.Machine.TotalCores()
+	cores := make([]*cpu.Core, 0, totalCores)
+	remaining := totalCores
+	for n := 0; n < exp.Machine.NumCMPs; n++ {
+		for c := 0; c < exp.Machine.CoresPerCMP; c++ {
+			g := n*exp.Machine.CoresPerCMP + c
+			var src workload.Source
+			if exp.Traces != nil {
+				var ops []workload.Op
+				if g < len(exp.Traces) {
+					ops = exp.Traces[g]
+				}
+				src = workload.NewSliceSource(ops)
+			} else {
+				src = workload.NewGenerator(exp.Workload, g, exp.OpsPerCore, exp.Seed)
+			}
+			cr := cpu.NewMLP(kern, eng, n, c, exp.Machine.WriteBufferEntries, exp.Machine.MaxOutstandingLoads, src, func() {
+				remaining--
+				if remaining == 0 {
+					// Let in-flight protocol events drain naturally.
+				}
+			})
+			cores = append(cores, cr)
+		}
+	}
+	for _, c := range cores {
+		c.Start()
+	}
+
+	if exp.Governor != nil && len(dynamics) > 0 {
+		startGovernor(kern, eng, dynamics, *exp.Governor)
+	}
+
+	var warmStats protocol.Stats
+	var warmNJ float64
+	var warmBreakdown map[energy.Category]float64
+	if exp.WarmupCycles > 0 {
+		kern.Schedule(exp.WarmupCycles, func() {
+			warmStats = eng.Stats()
+			warmNJ = eng.Meter().TotalNJ()
+			warmBreakdown = eng.Meter().Breakdown()
+		})
+	}
+
+	max := exp.MaxCycles
+	if max == 0 {
+		max = 2_000_000_000
+	}
+	kern.Run(max)
+	if remaining != 0 {
+		return Result{}, fmt.Errorf("machine: %d cores unfinished at cycle limit %d", remaining, max)
+	}
+	if err := checker.CheckDrained(eng); err != nil {
+		return Result{}, fmt.Errorf("machine: post-run check: %w", err)
+	}
+
+	res := Result{
+		Algorithm:       exp.Algorithm,
+		Workload:        exp.Workload.Name,
+		Predictor:       exp.Predictor.Name,
+		Stats:           eng.Stats(),
+		EnergyNJ:        eng.Meter().TotalNJ(),
+		EnergyBreakdown: eng.Meter().Breakdown(),
+		WarmupCycles:    exp.WarmupCycles,
+	}
+	for _, c := range cores {
+		if c.FinishedAt > res.Cycles {
+			res.Cycles = c.FinishedAt
+		}
+		res.Instructions += c.Instructions
+	}
+	if exp.WarmupCycles > 0 {
+		if res.Cycles <= exp.WarmupCycles {
+			return Result{}, fmt.Errorf("machine: run finished at cycle %d, inside the %d-cycle warmup",
+				res.Cycles, exp.WarmupCycles)
+		}
+		res.Stats = res.Stats.Sub(warmStats)
+		res.EnergyNJ -= warmNJ
+		for c, v := range warmBreakdown {
+			res.EnergyBreakdown[c] -= v
+		}
+		res.Cycles -= exp.WarmupCycles
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	var agg, con uint64
+	for _, d := range dynamics {
+		agg += d.AggDecisions
+		con += d.ConDecisions
+	}
+	if agg+con > 0 {
+		res.GovernorAggFrac = float64(agg) / float64(agg+con)
+	}
+	return res, nil
+}
+
+// startGovernor installs the periodic energy-budget mode switcher. The
+// governor's ticker stops once the event queue would otherwise drain — it
+// reschedules only while protocol or core work remains pending.
+func startGovernor(kern *sim.Kernel, eng *protocol.Engine, ds []*core.DynamicSuperset, g GovernorConfig) {
+	lastNJ := 0.0
+	lastCycle := sim.Time(0)
+	var tick func()
+	tick = func() {
+		// Stop ticking once the machine has gone idle (the governor
+		// must not keep the simulation alive forever).
+		if kern.Pending() == 0 {
+			return
+		}
+		nowNJ := eng.Meter().TotalNJ()
+		now := kern.Now()
+		if now > lastCycle {
+			rate := (nowNJ - lastNJ) / float64(now-lastCycle) * 1000
+			aggressive := rate <= g.BudgetNJPerKCycle
+			for _, d := range ds {
+				d.SetAggressive(aggressive)
+			}
+		}
+		lastNJ, lastCycle = nowNJ, now
+		kern.After(g.IntervalCycles, tick)
+	}
+	kern.After(g.IntervalCycles, tick)
+}

@@ -1,0 +1,157 @@
+// Package memory models the distributed main memory of the machine: each
+// CMP node owns the slice of physical memory it is home for, and serves
+// line reads and write-backs over the data network.
+//
+// It implements the paper's prefetch-on-snoop heuristic (Section 2.2):
+// when a read snoop request passes its home node, the home may start a
+// DRAM prefetch so the eventual memory read completes with the shorter
+// remote round trip of Table 4 (312 vs 710 cycles).
+package memory
+
+import (
+	"flexsnoop/internal/bus"
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/sim"
+)
+
+// Controller is one node's memory controller.
+type Controller struct {
+	node int
+	cfg  config.MachineConfig
+
+	// versions records the last written-back data generation per line,
+	// for coherence-value checking. Lines never written back are at
+	// generation 0.
+	versions map[cache.LineAddr]uint64
+
+	// prefetch maps line -> cycle at which the prefetched data is ready.
+	prefetch      map[cache.LineAddr]sim.Time
+	prefetchOrder []cache.LineAddr // FIFO for bounded-buffer eviction
+
+	// channel models DRAM channel occupancy: accesses queue behind one
+	// another (Table 4: 10.7 GB/s DRAM bandwidth).
+	channel bus.Bus
+
+	// sharedMark is the home's sticky "masterless sharers may exist" bit
+	// per line: set when read-only copies can survive without any global
+	// supplier (a demoted concurrent-read grant, or the eviction or
+	// downgrade of a shared-capable supplier). While set, memory must
+	// not grant Exclusive — a silent write to an E copy could leave
+	// those sharers stale. The next completed write clears it: its
+	// invalidation sweep removed every copy.
+	sharedMark map[cache.LineAddr]bool
+
+	// Stats.
+	Reads         uint64
+	Writes        uint64
+	Prefetches    uint64
+	PrefetchHits  uint64
+	PrefetchMiss  uint64 // reads that found no prefetched entry
+	PrefetchEvict uint64
+}
+
+// NewController builds the controller for one home node.
+func NewController(node int, cfg config.MachineConfig) *Controller {
+	return &Controller{
+		node:       node,
+		cfg:        cfg,
+		versions:   make(map[cache.LineAddr]uint64),
+		prefetch:   make(map[cache.LineAddr]sim.Time),
+		sharedMark: make(map[cache.LineAddr]bool),
+	}
+}
+
+// HomeNode returns the home node of a line under the machine's address
+// interleaving.
+func HomeNode(addr cache.LineAddr, numCMPs int) int {
+	return int(addr % cache.LineAddr(numCMPs))
+}
+
+// Node returns this controller's node id.
+func (c *Controller) Node() int { return c.node }
+
+// NotifySnoop implements the prefetch heuristic: called when a read snoop
+// for a line homed here passes this node. The line's data becomes ready
+// after the DRAM access time. The buffer is bounded; the oldest entry is
+// dropped when full.
+func (c *Controller) NotifySnoop(now sim.Time, addr cache.LineAddr) {
+	if !c.cfg.PrefetchOnSnoop {
+		return
+	}
+	if _, ok := c.prefetch[addr]; ok {
+		return // already prefetched or in flight
+	}
+	if len(c.prefetchOrder) >= c.cfg.PrefetchBufferEntries {
+		old := c.prefetchOrder[0]
+		c.prefetchOrder = c.prefetchOrder[1:]
+		delete(c.prefetch, old)
+		c.PrefetchEvict++
+	}
+	c.prefetch[addr] = now + sim.Time(c.cfg.DRAMAccessCycles)
+	c.prefetchOrder = append(c.prefetchOrder, addr)
+	c.Prefetches++
+}
+
+// ReadLatency returns the full round-trip latency a requester at the given
+// node observes for a memory read of a line homed here, consuming any
+// prefetch-buffer entry for the line. The Table 4 constants are used
+// directly — 350 cycles locally, 312 remotely with a completed prefetch,
+// 710 remotely without — plus any queueing behind earlier accesses on
+// this controller's DRAM channel.
+func (c *Controller) ReadLatency(now sim.Time, addr cache.LineAddr, requester int) sim.Time {
+	c.Reads++
+	queue := c.channel.Reserve(now, sim.Time(c.cfg.DRAMOccupancyCycles)) - now
+	ready, prefetched := c.prefetch[addr]
+	if prefetched {
+		delete(c.prefetch, addr)
+		for i, a := range c.prefetchOrder {
+			if a == addr {
+				c.prefetchOrder = append(c.prefetchOrder[:i], c.prefetchOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	if requester == c.node {
+		return sim.Time(c.cfg.MemLocalRTCycles) + queue
+	}
+	if prefetched {
+		c.PrefetchHits++
+		rt := sim.Time(c.cfg.MemRemoteRTPrefetchCycles) + queue
+		// If the prefetch has not finished yet, the residual DRAM time
+		// adds to the round trip.
+		if ready > now {
+			rt += ready - now
+		}
+		return rt
+	}
+	c.PrefetchMiss++
+	return sim.Time(c.cfg.MemRemoteRTNoPrefetchCycle) + queue
+}
+
+// QueueCycles reports total cycles accesses waited for the DRAM channel.
+func (c *Controller) QueueCycles() uint64 { return c.channel.WaitCycles }
+
+// MarkShared sets the line's masterless-sharers bit: memory may not grant
+// Exclusive until a write's invalidation sweep clears it.
+func (c *Controller) MarkShared(addr cache.LineAddr) { c.sharedMark[addr] = true }
+
+// ClearShared clears the bit after a completed write made the writer the
+// line's only holder.
+func (c *Controller) ClearShared(addr cache.LineAddr) { delete(c.sharedMark, addr) }
+
+// SharedMarked reports whether masterless sharers may exist.
+func (c *Controller) SharedMarked(addr cache.LineAddr) bool { return c.sharedMark[addr] }
+
+// Version returns the line's last written-back data generation.
+func (c *Controller) Version(addr cache.LineAddr) uint64 { return c.versions[addr] }
+
+// WriteBack records a dirty-line write-back of the given data generation.
+// Write-backs are posted (no one waits on them) but still occupy the DRAM
+// channel.
+func (c *Controller) WriteBack(addr cache.LineAddr, version uint64) {
+	c.Writes++
+	if version > c.versions[addr] {
+		c.versions[addr] = version
+	}
+}

@@ -1,0 +1,204 @@
+package protocol_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/protocol"
+)
+
+// TestSingleLineHammer drives every core in the machine at a single line
+// with a read/write mix — the worst case for collision handling,
+// supplier-side serialization and squash/retry fairness. The invariant
+// checker runs after every transaction completion.
+func TestSingleLineHammer(t *testing.T) {
+	for _, alg := range []config.Algorithm{config.Lazy, config.Eager, config.SupersetAgg, config.Exact} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			kern, e := testEngine(t, alg)
+			rng := rand.New(rand.NewSource(13))
+			issued, completed := 0, 0
+			const line = cache.LineAddr(0x77)
+			for i := 0; i < 400; i++ {
+				node, c := rng.Intn(8), rng.Intn(4)
+				kind := protocol.Load
+				if rng.Intn(2) == 0 {
+					kind = protocol.Store
+				}
+				issued++
+				e.Access(node, c, kind, line, func() { completed++ })
+				if rng.Intn(6) == 0 {
+					kern.RunAll()
+				}
+			}
+			run(t, kern, e)
+			if completed != issued {
+				t.Fatalf("completed %d/%d accesses", completed, issued)
+			}
+			// Writes all serialized: the final version equals the store
+			// count only if every store produced a distinct generation.
+			if v := e.LatestVersion(line); v == 0 {
+				t.Error("no writes committed")
+			}
+		})
+	}
+}
+
+// TestProducerConsumerChain bounces ownership of a few lines around the
+// ring in a fixed pattern: node i writes, node i+1 reads then writes, ...
+// — the migratory pattern that exercises supply-then-invalidate ordering.
+func TestProducerConsumerChain(t *testing.T) {
+	kern, e := testEngine(t, config.SupersetAgg)
+	const line = cache.LineAddr(0x99)
+	for round := 0; round < 10; round++ {
+		for n := 0; n < 8; n++ {
+			done := 0
+			e.Access(n, 0, protocol.Load, line, func() { done++ })
+			e.Access(n, 0, protocol.Store, line, func() { done++ })
+			kern.RunAll()
+			if done != 2 {
+				t.Fatalf("round %d node %d: %d/2 accesses completed", round, n, done)
+			}
+		}
+	}
+	run(t, kern, e)
+	if v := e.LatestVersion(line); v != 80 {
+		t.Errorf("version = %d, want 80 (one per store)", v)
+	}
+	// Ownership ended at node 7.
+	if st := e.LineState(7, 0, line); st != cache.Dirty {
+		t.Errorf("final owner state = %v, want D", st)
+	}
+}
+
+// TestOverlappingReadersAndOneWriter: many concurrent readers racing a
+// single writer — the exact shape of the supplier-serialization bug this
+// protocol fixes with pending-supply holds.
+func TestOverlappingReadersAndOneWriter(t *testing.T) {
+	kern, e := testEngine(t, config.Eager)
+	const line = cache.LineAddr(0x44)
+	// Seed a dirty supplier.
+	e.Access(2, 0, protocol.Store, line, nil)
+	kern.RunAll()
+	completed := 0
+	for n := 0; n < 8; n++ {
+		if n == 2 {
+			continue
+		}
+		e.Access(n, 0, protocol.Load, line, func() { completed++ })
+	}
+	e.Access(5, 1, protocol.Store, line, func() { completed++ })
+	run(t, kern, e)
+	if completed != 8 {
+		t.Fatalf("completed %d/8", completed)
+	}
+	if v := e.LatestVersion(line); v != 2 {
+		t.Errorf("version = %d, want 2", v)
+	}
+}
+
+// TestManyLinesManyCores is a broader soak across both rings with the
+// checker armed, catching cross-line interference bugs.
+func TestManyLinesManyCores(t *testing.T) {
+	kern, e := testEngine(t, config.Subset)
+	rng := rand.New(rand.NewSource(29))
+	issued, completed := 0, 0
+	for i := 0; i < 1500; i++ {
+		node, c := rng.Intn(8), rng.Intn(4)
+		addr := cache.LineAddr(rng.Intn(16)) // very hot, both rings
+		kind := protocol.Load
+		if rng.Intn(3) == 0 {
+			kind = protocol.Store
+		}
+		issued++
+		e.Access(node, c, kind, addr, func() { completed++ })
+		if rng.Intn(10) == 0 {
+			kern.RunAll()
+		}
+	}
+	run(t, kern, e)
+	if completed != issued {
+		t.Fatalf("completed %d/%d", completed, issued)
+	}
+}
+
+// TestSoak is a long randomized soak across all algorithms with the
+// invariant checker armed: tens of thousands of references over a mix of
+// hot and cold lines, bursts of concurrency, and every message path.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test runs tens of thousands of references")
+	}
+	for _, alg := range append(config.Algorithms(), config.DynamicSuperset) {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			kern, e := testEngine(t, alg)
+			rng := rand.New(rand.NewSource(101))
+			issued, completed := 0, 0
+			for i := 0; i < 8000; i++ {
+				node, c := rng.Intn(8), rng.Intn(4)
+				var addr cache.LineAddr
+				switch rng.Intn(3) {
+				case 0:
+					addr = cache.LineAddr(rng.Intn(8)) // scorching
+				case 1:
+					addr = cache.LineAddr(0x100 + rng.Intn(256)) // warm
+				default:
+					addr = cache.LineAddr(0x10000 + rng.Intn(1<<13)) // cold, evicting
+				}
+				kind := protocol.Load
+				if rng.Intn(3) == 0 {
+					kind = protocol.Store
+				}
+				issued++
+				e.Access(node, c, kind, addr, func() { completed++ })
+				if rng.Intn(12) == 0 {
+					kern.RunAll()
+				}
+			}
+			run(t, kern, e)
+			if completed != issued {
+				t.Fatalf("completed %d/%d", completed, issued)
+			}
+		})
+	}
+}
+
+// TestEvictionStorm hammers a single L2 set from every node with a
+// read/write mix, so lines are constantly evicted mid-transaction: the
+// upgrade-retry, write-back and masterless-marking paths all fire under
+// concurrency, with the invariant checker armed.
+func TestEvictionStorm(t *testing.T) {
+	for _, alg := range []config.Algorithm{config.Lazy, config.SupersetAgg, config.Exact} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			kern, e := testEngine(t, alg)
+			rng := rand.New(rand.NewSource(77))
+			issued, completed := 0, 0
+			for i := 0; i < 1200; i++ {
+				node, c := rng.Intn(8), rng.Intn(4)
+				// 24 distinct tags, all mapping to L2 set 0: constant
+				// conflict evictions (8-way sets).
+				addr := cache.LineAddr(rng.Intn(24)) << 10
+				kind := protocol.Load
+				if rng.Intn(3) == 0 {
+					kind = protocol.Store
+				}
+				issued++
+				e.Access(node, c, kind, addr, func() { completed++ })
+				if rng.Intn(6) == 0 {
+					kern.RunAll()
+				}
+			}
+			run(t, kern, e)
+			if completed != issued {
+				t.Fatalf("completed %d/%d", completed, issued)
+			}
+			if e.Stats().Writebacks == 0 {
+				t.Error("eviction storm produced no write-backs")
+			}
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package protocol implements the embedded-ring snoopy coherence engine:
+// CMP nodes with private per-core L2 caches, ring gateways running the
+// Flexible Snooping primitives, collision detection with squash-and-retry,
+// the distributed memory path, and the MESI + S_L/S_G/T state machine of
+// Section 2.2.
+package protocol
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/bus"
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/core"
+	"flexsnoop/internal/energy"
+	"flexsnoop/internal/interconnect"
+	"flexsnoop/internal/memory"
+	"flexsnoop/internal/predictor"
+	"flexsnoop/internal/ring"
+	"flexsnoop/internal/sim"
+)
+
+// AccessKind is a processor-side memory reference type.
+type AccessKind int
+
+const (
+	// Load is a read reference.
+	Load AccessKind = iota
+	// Store is a write reference.
+	Store
+)
+
+// Engine is the machine-wide coherence engine.
+type Engine struct {
+	cfg     config.MachineConfig
+	predCfg config.PredictorConfig
+	kern    *sim.Kernel
+
+	nodes []*node
+	rings []*ring.Ring
+	torus *interconnect.Torus
+	meter *energy.Meter
+
+	// versions is the per-line global write-generation counter: the
+	// value each completed write stamps on the line.
+	versions map[cache.LineAddr]uint64
+
+	txnSeq ring.TxnID
+	byID   map[ring.TxnID]*txn
+
+	// downgraded marks lines whose supplier copy the Exact predictor
+	// downgraded; the next memory read of such a line is charged to the
+	// algorithm as a "re-read" (Section 6.1.4).
+	downgraded map[cache.LineAddr]bool
+
+	stats Stats
+
+	// checkEvery runs the invariant checker after every N transaction
+	// completions when non-zero (tests enable it).
+	invariantCheck func() error
+	checkEvery     uint64
+	completions    uint64
+
+	// observer, when set, receives every performed reference with the
+	// data generation it bound (tests use it to verify per-core
+	// monotonicity of observed versions).
+	observer func(node, core int, write bool, addr cache.LineAddr, version uint64)
+}
+
+// SetObserver installs a reference observer (testing hook).
+func (e *Engine) SetObserver(fn func(node, core int, write bool, addr cache.LineAddr, version uint64)) {
+	e.observer = fn
+}
+
+// observe reports one performed reference to the observer.
+func (e *Engine) observe(node, core int, write bool, addr cache.LineAddr, version uint64) {
+	if e.observer != nil {
+		e.observer(node, core, write, addr, version)
+	}
+}
+
+// Options configures engine construction.
+type Options struct {
+	Machine   config.MachineConfig
+	Predictor config.PredictorConfig
+	// PolicyFor supplies the snooping policy for each node. Nodes may
+	// share one policy value when it is stateless.
+	PolicyFor func(node int) core.Policy
+	Energy    energy.Params
+}
+
+// NewEngine builds the coherence engine on a simulation kernel.
+func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PolicyFor == nil {
+		return nil, fmt.Errorf("protocol: Options.PolicyFor is required")
+	}
+	m := opts.Machine
+	e := &Engine{
+		cfg:        m,
+		predCfg:    opts.Predictor,
+		kern:       kern,
+		torus:      interconnect.NewTorus(m.TorusWidth, m.TorusHeight, m.TorusHopCycles, m.DataSerializationCycles, m.NumCMPs),
+		meter:      energy.NewMeter(opts.Energy),
+		versions:   make(map[cache.LineAddr]uint64),
+		byID:       make(map[ring.TxnID]*txn),
+		downgraded: make(map[cache.LineAddr]bool),
+	}
+	for i := 0; i < m.NumRings; i++ {
+		e.rings = append(e.rings, ring.NewRing(m.NumCMPs, m.RingLinkCycles, ringLinkOccupancyCycles))
+	}
+	for i := 0; i < m.NumCMPs; i++ {
+		n := &node{
+			id:          i,
+			e:           e,
+			mem:         memory.NewController(i, m),
+			supplierIdx: make(map[cache.LineAddr]int),
+			outstanding: make(map[cache.LineAddr]*txn),
+			ringStates:  make(map[ring.TxnID]*ringState),
+		}
+		for c := 0; c < m.CoresPerCMP; c++ {
+			n.l1 = append(n.l1, cache.NewArray(m.L1))
+			n.l2 = append(n.l2, cache.NewArray(m.L2))
+		}
+		pol := opts.PolicyFor(i)
+		if pol == nil {
+			return nil, fmt.Errorf("protocol: nil policy for node %d", i)
+		}
+		n.policy = pol
+		nodeID := i
+		n.pred = predictor.New(opts.Predictor, func(a cache.LineAddr) bool {
+			_, ok := e.nodes[nodeID].supplierIdx[a]
+			return ok
+		})
+		if pol.Algorithm().UsesPredictor() && n.pred == nil {
+			return nil, fmt.Errorf("protocol: algorithm %v needs a predictor, got none", pol.Algorithm())
+		}
+		e.nodes = append(e.nodes, n)
+	}
+	return e, nil
+}
+
+// ringLinkOccupancyCycles is the serialization time of one snoop message
+// on an 8 GB/s ring link at 6 GHz (about 8 bytes).
+const ringLinkOccupancyCycles = 3
+
+// node is one CMP: cores' private caches, the shared intra-CMP bus, the
+// ring gateway with its supplier predictor, and the home-memory slice.
+type node struct {
+	id int
+	e  *Engine
+
+	l1, l2 []*cache.Array
+	cmpBus bus.Bus
+	policy core.Policy
+	pred   predictor.Predictor
+	mem    *memory.Controller
+
+	// supplierIdx maps lines held in a global supplier state in this CMP
+	// to the core holding them. It is the gateway's ground truth for
+	// predictor training and accuracy classification.
+	supplierIdx map[cache.LineAddr]int
+
+	// outstanding holds the active (non-squashed) transaction per line.
+	outstanding map[cache.LineAddr]*txn
+	activeTxns  int
+	issueQueue  []*txn
+
+	// ringStates tracks per-foreign-transaction message state (split
+	// request/reply bookkeeping, Table 2).
+	ringStates map[ring.TxnID]*ringState
+}
+
+// Meter exposes the energy meter.
+func (e *Engine) Meter() *energy.Meter { return e.meter }
+
+// Stats returns a snapshot of the engine statistics.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	for _, r := range e.rings {
+		s.RingSegments += r.Transmitted
+		s.ReadRingSegments += r.ReadSegments
+		s.RingLinkWaitCycles += r.LinkWaits()
+	}
+	for _, n := range e.nodes {
+		s.MemReads += n.mem.Reads
+		s.MemWrites += n.mem.Writes
+		s.Prefetches += n.mem.Prefetches
+		s.PrefetchHits += n.mem.PrefetchHits
+		s.MemQueueCycles += n.mem.QueueCycles()
+		if n.pred != nil {
+			ps := n.pred.Stats()
+			s.PredictorLookups += ps.Lookups
+			s.PredictorInserts += ps.Inserts
+			s.ExcludeHits += ps.ExcludeHits
+		}
+		for c := range n.l1 {
+			s.L1Hits += n.l1[c].Hits
+			s.L1Misses += n.l1[c].Misses
+			s.L2Hits += n.l2[c].Hits
+			s.L2Misses += n.l2[c].Misses
+		}
+		s.BusWaitCycles += n.cmpBus.WaitCycles
+	}
+	return s
+}
+
+// SetInvariantChecker installs a coherence checker run after every
+// transaction completion (tests) or every N completions.
+func (e *Engine) SetInvariantChecker(every uint64, check func() error) {
+	e.checkEvery = every
+	e.invariantCheck = check
+}
+
+// Nodes returns the node count.
+func (e *Engine) Nodes() int { return len(e.nodes) }
+
+// NodePolicy returns the snooping policy of a node (used by the dynamic
+// adaptive governor).
+func (e *Engine) NodePolicy(i int) core.Policy { return e.nodes[i].policy }
+
+// LineState returns core c of node n's state for a line (testing and the
+// invariant checker).
+func (e *Engine) LineState(n, c int, addr cache.LineAddr) cache.State {
+	if l := e.nodes[n].l2[c].Lookup(addr); l != nil {
+		return l.State
+	}
+	return cache.Invalid
+}
+
+// ForEachLine visits every valid L2 line in the machine.
+func (e *Engine) ForEachLine(visit func(node, core int, l cache.Line)) {
+	for ni, n := range e.nodes {
+		for ci := range n.l2 {
+			n.l2[ci].ForEach(func(l cache.Line) { visit(ni, ci, l) })
+		}
+	}
+}
+
+// SupplierIndexed reports whether node n's gateway index lists the line as
+// held in a supplier state (checker cross-validation).
+func (e *Engine) SupplierIndexed(n int, addr cache.LineAddr) bool {
+	_, ok := e.nodes[n].supplierIdx[addr]
+	return ok
+}
+
+// ForEachSupplierIndex visits every (node, line) gateway supplier-index
+// entry (checker cross-validation).
+func (e *Engine) ForEachSupplierIndex(visit func(node int, addr cache.LineAddr)) {
+	for ni, n := range e.nodes {
+		for addr := range n.supplierIdx {
+			visit(ni, addr)
+		}
+	}
+}
+
+// OutstandingTxns reports the number of live transactions (drain checks).
+func (e *Engine) OutstandingTxns() int { return len(e.byID) }
+
+// RingStateCount reports per-node split-message bookkeeping entries still
+// held (leak checks: must be zero once the machine drains).
+func (e *Engine) RingStateCount() int {
+	n := 0
+	for _, nd := range e.nodes {
+		n += len(nd.ringStates)
+	}
+	return n
+}
+
+// DebugRingStates describes leaked per-node message states (diagnostics).
+func (e *Engine) DebugRingStates() []string {
+	var out []string
+	for ni, nd := range e.nodes {
+		for id, st := range nd.ringStates {
+			out = append(out, fmt.Sprintf("node=%d txn=%d kind=%v req=%d mode=%d outcome=%v sent=%v awaitTrail=%v pend=%v",
+				ni, id, st.dbgKind, st.dbgRequester, st.mode, st.outcomeReady, st.sentOwnReply, st.awaitingTrailingReply, st.pendingReply != nil))
+		}
+	}
+	return out
+}
+
+// DebugTxns describes every live transaction (diagnostics).
+func (e *Engine) DebugTxns() []string {
+	var out []string
+	for id, t := range e.byID {
+		out = append(out, fmt.Sprintf(
+			"txn=%d kind=%v addr=%#x node=%d core=%d age=%d needData=%v upgrade=%v found=%v dataArr=%v replyRet=%v installed=%v squashed=%v memPhase=%v retries=%d waiters=%d blocked=%d",
+			id, t.kind, t.addr, t.node, t.core, t.age, t.needData, t.upgrade,
+			t.found, t.dataArrived, t.replyReturned, t.installed, t.squashed,
+			t.memPhase, t.retries, len(t.waiters), len(t.blockedMsgs)))
+	}
+	for ni, n := range e.nodes {
+		if len(n.issueQueue) > 0 {
+			out = append(out, fmt.Sprintf("node %d issueQueue=%d activeTxns=%d", ni, len(n.issueQueue), n.activeTxns))
+		}
+	}
+	return out
+}
+
+// HasActiveTxn reports whether any transaction for the line is in flight
+// anywhere in the machine (the line may legitimately be "in limbo").
+func (e *Engine) HasActiveTxn(addr cache.LineAddr) bool {
+	for _, t := range e.byID {
+		if t.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Cores returns the per-CMP core count.
+func (e *Engine) Cores() int { return e.cfg.CoresPerCMP }
+
+func (e *Engine) now() sim.Time { return e.kern.Now() }
+
+func (e *Engine) maybeCheck() {
+	e.completions++
+	if e.invariantCheck != nil && e.checkEvery > 0 && e.completions%e.checkEvery == 0 {
+		if err := e.invariantCheck(); err != nil {
+			panic(fmt.Sprintf("protocol: coherence invariant violated at cycle %d: %v", e.now(), err))
+		}
+	}
+}
+
+// homeOf returns the home node of a line.
+func (e *Engine) homeOf(addr cache.LineAddr) int {
+	return memory.HomeNode(addr, e.cfg.NumCMPs)
+}
+
+// MemVersion returns the memory image version of a line (checker).
+func (e *Engine) MemVersion(addr cache.LineAddr) uint64 {
+	return e.nodes[e.homeOf(addr)].mem.Version(addr)
+}
+
+// LatestVersion returns the newest committed write generation of a line.
+func (e *Engine) LatestVersion(addr cache.LineAddr) uint64 { return e.versions[addr] }

@@ -1,0 +1,374 @@
+package protocol
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/ring"
+	"flexsnoop/internal/sim"
+)
+
+// Access performs one data reference from a core. done fires when the
+// reference is performed: data bound for loads, write globally performed
+// for stores. done may be nil.
+func (e *Engine) Access(nodeID, coreID int, kind AccessKind, addr cache.LineAddr, done func()) {
+	if nodeID < 0 || nodeID >= len(e.nodes) {
+		panic(fmt.Sprintf("protocol: node %d out of range", nodeID))
+	}
+	if coreID < 0 || coreID >= e.cfg.CoresPerCMP {
+		panic(fmt.Sprintf("protocol: core %d out of range", coreID))
+	}
+	if kind == Load {
+		e.stats.Loads++
+	} else {
+		e.stats.Stores++
+	}
+	rk := ring.ReadSnoop
+	if kind == Store {
+		rk = ring.WriteSnoop
+	}
+	e.access(nodeID, coreID, rk, addr, e.now(), done, nil, 0)
+}
+
+// access is the full reference path; it is re-entered by retries and
+// waiters (which carry their original age).
+func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+	n := e.nodes[nodeID]
+	if kind == ring.ReadSnoop {
+		// L1 filter: loads complete from L1.
+		if l := n.l1[coreID].Access(addr); l != nil {
+			e.observe(nodeID, coreID, false, addr, l.Version)
+			e.completeAfter(sim.Time(e.cfg.L1.RoundTripCycles), done, waiters)
+			return
+		}
+	} else {
+		n.l1[coreID].Access(addr) // stats only; stores always check L2 state
+	}
+
+	l2RT := sim.Time(e.cfg.L2.RoundTripCycles)
+	line := n.l2[coreID].Access(addr)
+
+	if kind == ring.ReadSnoop {
+		if line != nil {
+			e.observe(nodeID, coreID, false, addr, line.Version)
+			n.l1[coreID].Insert(addr, cache.Shared, line.Version)
+			e.completeAfter(l2RT, done, waiters)
+			return
+		}
+		// Miss in own L2: snoop the local CMP before going to the ring
+		// (Section 2.2).
+		e.kern.After(l2RT, func() { e.localReadPath(nodeID, coreID, addr, age, done, waiters, retries) })
+		return
+	}
+
+	// Store path.
+	if line != nil && (line.State == cache.Exclusive || line.State == cache.Dirty) {
+		// Silent upgrade: the only copy in the machine.
+		e.performWrite(nodeID, coreID, addr)
+		e.completeAfter(l2RT, done, waiters)
+		return
+	}
+	e.kern.After(l2RT, func() { e.localWritePath(nodeID, coreID, addr, age, done, waiters, retries) })
+}
+
+// completeAfter finishes a reference after a fixed latency, waking any
+// piggy-backed waiters.
+func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []func()) {
+	e.kern.After(delay, func() {
+		if done != nil {
+			done()
+		}
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+// localReadPath snoops the CMP-local caches and falls back to the ring.
+func (e *Engine) localReadPath(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+	n := e.nodes[nodeID]
+	start := n.cmpBus.Reserve(e.now(), sim.Time(e.cfg.BusOccupancyCycles))
+	finish := start + sim.Time(e.cfg.IntraCMPBusCycles)
+	e.kern.Schedule(finish, func() {
+		// Re-check own L2: a waiter's earlier fill may have landed.
+		if l := n.l2[coreID].Access(addr); l != nil {
+			e.observe(nodeID, coreID, false, addr, l.Version)
+			n.l1[coreID].Insert(addr, cache.Shared, l.Version)
+			if done != nil {
+				done()
+			}
+			for _, w := range waiters {
+				w()
+			}
+			return
+		}
+		if sup, ok := e.localSupplier(nodeID, coreID, addr); ok {
+			e.supplyLocal(nodeID, sup, coreID, addr)
+			e.stats.LocalSupplies++
+			if done != nil {
+				done()
+			}
+			for _, w := range waiters {
+				w()
+			}
+			return
+		}
+		t := &txn{
+			kind: ring.ReadSnoop, addr: addr, node: nodeID, core: coreID,
+			age: age, needData: true, done: done, waiters: waiters, retries: retries,
+		}
+		e.issueTxn(t)
+	})
+}
+
+// localWritePath resolves store misses and upgrades.
+func (e *Engine) localWritePath(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+	n := e.nodes[nodeID]
+	start := n.cmpBus.Reserve(e.now(), sim.Time(e.cfg.BusOccupancyCycles))
+	finish := start + sim.Time(e.cfg.IntraCMPBusCycles)
+	e.kern.Schedule(finish, func() {
+		// Re-check own L2 after the bus wait.
+		if l := n.l2[coreID].Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
+			e.performWrite(nodeID, coreID, addr)
+			if done != nil {
+				done()
+			}
+			for _, w := range waiters {
+				w()
+			}
+			return
+		}
+		// Local ownership transfer: another core in this CMP holds the
+		// machine's only copy (E or D) — no ring transaction needed.
+		if owner, ok := n.supplierIdx[addr]; ok && owner != coreID {
+			st := n.l2[owner].Lookup(addr)
+			if st != nil && (st.State == cache.Exclusive || st.State == cache.Dirty) {
+				e.invalidateCoreLine(nodeID, owner, addr)
+				v := e.nextVersion(addr)
+				e.observe(nodeID, coreID, true, addr, v)
+				e.installLine(nodeID, coreID, addr, cache.Dirty, v)
+				if done != nil {
+					done()
+				}
+				for _, w := range waiters {
+					w()
+				}
+				return
+			}
+		}
+		// Ring write: upgrade when any CMP-local copy exists, else miss.
+		hasCopy := false
+		for c := range n.l2 {
+			if n.l2[c].Contains(addr) {
+				hasCopy = true
+				break
+			}
+		}
+		t := &txn{
+			kind: ring.WriteSnoop, addr: addr, node: nodeID, core: coreID,
+			age: age, needData: !hasCopy, upgrade: hasCopy, done: done, waiters: waiters, retries: retries,
+		}
+		e.issueTxn(t)
+	})
+}
+
+// localSupplier finds a CMP-local cache able to supply a read (S_L or any
+// global supplier state).
+func (e *Engine) localSupplier(nodeID, exceptCore int, addr cache.LineAddr) (coreID int, ok bool) {
+	n := e.nodes[nodeID]
+	for c := range n.l2 {
+		if c == exceptCore {
+			continue
+		}
+		if l := n.l2[c].Lookup(addr); l != nil && l.State.LocalSupplier() {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// supplyLocal transfers a line between two caches of the same CMP:
+// supplier E->S_G and D->T (it keeps its master roles), reader installs S.
+func (e *Engine) supplyLocal(nodeID, supCore, dstCore int, addr cache.LineAddr) {
+	n := e.nodes[nodeID]
+	l := n.l2[supCore].Lookup(addr)
+	if l == nil || !l.State.LocalSupplier() {
+		panic("protocol: local supply from a non-supplier")
+	}
+	switch l.State {
+	case cache.Exclusive:
+		n.l2[supCore].SetState(addr, cache.SharedGlobal)
+	case cache.Dirty:
+		n.l2[supCore].SetState(addr, cache.Tagged)
+	}
+	version := l.Version
+	e.lineTrace(addr, "supplyLocal n%d c%d->c%d v%d", nodeID, supCore, dstCore, version)
+	e.observe(nodeID, dstCore, false, addr, version)
+	e.installLine(nodeID, dstCore, addr, cache.Shared, version)
+}
+
+// installLine inserts a line into a core's L2 (and L1), maintaining the
+// supplier index, predictor training and eviction side effects.
+func (e *Engine) installLine(nodeID, coreID int, addr cache.LineAddr, st cache.State, version uint64) {
+	n := e.nodes[nodeID]
+	if st.GlobalSupplier() {
+		if prev, ok := n.supplierIdx[addr]; ok && prev != coreID {
+			panic(fmt.Sprintf("protocol: node %d would hold two supplier copies of %#x", nodeID, addr))
+		}
+		n.supplierIdx[addr] = coreID
+		e.trainInsert(n, addr)
+		delete(e.downgraded, addr)
+	}
+	e.lineTrace(addr, "install n%d c%d %v v%d", nodeID, coreID, st, version)
+	victim, evicted := n.l2[coreID].Insert(addr, st, version)
+	if evicted {
+		e.handleEviction(nodeID, coreID, victim)
+	}
+	n.l1[coreID].Insert(addr, cache.Shared, version)
+}
+
+// performWrite stamps a new write generation on a line the core already
+// owns exclusively (E or D) or has just won an upgrade for.
+func (e *Engine) performWrite(nodeID, coreID int, addr cache.LineAddr) {
+	n := e.nodes[nodeID]
+	line := n.l2[coreID].Lookup(addr)
+	if line == nil {
+		panic("protocol: performWrite on an absent line")
+	}
+	wasSupplier := line.State.GlobalSupplier()
+	line.State = cache.Dirty
+	line.Version = e.nextVersion(addr)
+	e.lineTrace(addr, "performWrite n%d c%d v%d", nodeID, coreID, line.Version)
+	e.observe(nodeID, coreID, true, addr, line.Version)
+	n.l2[coreID].Touch(addr)
+	n.l1[coreID].Insert(addr, cache.Shared, line.Version)
+	// Invalidate every other CMP-local copy (the ring message does not
+	// visit the requester's own CMP).
+	for c := range n.l2 {
+		if c != coreID && n.l2[c].Contains(addr) {
+			e.invalidateCoreLine(nodeID, c, addr)
+		}
+	}
+	if !wasSupplier {
+		if prev, ok := n.supplierIdx[addr]; ok && prev != coreID {
+			panic(fmt.Sprintf("protocol: write upgrade with foreign local supplier of %#x", addr))
+		}
+		n.supplierIdx[addr] = coreID
+		e.trainInsert(n, addr)
+		delete(e.downgraded, addr)
+	}
+	e.nodes[e.homeOf(addr)].mem.ClearShared(addr)
+}
+
+// invalidateCoreLine removes one core's copy, maintaining L1 inclusion,
+// the supplier index and predictor training.
+func (e *Engine) invalidateCoreLine(nodeID, coreID int, addr cache.LineAddr) {
+	n := e.nodes[nodeID]
+	if _, ok := n.l2[coreID].Invalidate(addr); !ok {
+		return
+	}
+	e.lineTrace(addr, "invalidateCore n%d c%d", nodeID, coreID)
+	n.l1[coreID].Invalidate(addr)
+	if owner, ok := n.supplierIdx[addr]; ok && owner == coreID {
+		delete(n.supplierIdx, addr)
+		e.trainRemove(n, addr)
+	}
+}
+
+// invalidateCMP removes every copy of a line from a node, returning the
+// invalidated supplier line (if one was held) and whether any copy
+// existed.
+func (e *Engine) invalidateCMP(nodeID int, addr cache.LineAddr) (sup cache.Line, hadSupplier, hadAny bool) {
+	n := e.nodes[nodeID]
+	supCore, wasSup := n.supplierIdx[addr]
+	for c := range n.l2 {
+		if l, ok := n.l2[c].Invalidate(addr); ok {
+			hadAny = true
+			n.l1[c].Invalidate(addr)
+			if wasSup && c == supCore {
+				sup = l
+				hadSupplier = true
+			}
+		}
+	}
+	if wasSup {
+		delete(n.supplierIdx, addr)
+		e.trainRemove(n, addr)
+	}
+	return sup, hadSupplier, hadAny
+}
+
+// handleEviction processes an L2 victim: dirty lines write back to the
+// home memory; supplier lines leave the predictor set.
+func (e *Engine) handleEviction(nodeID, coreID int, victim cache.Line) {
+	n := e.nodes[nodeID]
+	n.l1[coreID].Invalidate(victim.Addr)
+	if owner, ok := n.supplierIdx[victim.Addr]; ok && owner == coreID {
+		delete(n.supplierIdx, victim.Addr)
+		e.trainRemove(n, victim.Addr)
+	}
+	if victim.State == cache.SharedGlobal || victim.State == cache.Tagged {
+		// Evicting a shared-capable master may leave plain-S copies with
+		// no supplier anywhere; remember at the home that Exclusive
+		// grants are unsafe until the next write sweeps them.
+		e.nodes[e.homeOf(victim.Addr)].mem.MarkShared(victim.Addr)
+	}
+	if victim.State.DirtyData() {
+		e.nodes[e.homeOf(victim.Addr)].mem.WriteBack(victim.Addr, victim.Version)
+		e.stats.Writebacks++
+	}
+}
+
+// trainInsert updates the supplier predictor when a line enters the CMP's
+// supplier set, applying Exact-predictor downgrades (Section 4.3.3).
+func (e *Engine) trainInsert(n *node, addr cache.LineAddr) {
+	if n.pred == nil {
+		return
+	}
+	superset := n.pred.Kind() == predictorSupersetKind
+	victim, mustDowngrade := n.pred.Insert(addr)
+	e.meter.AddPredictorUpdate(superset)
+	if mustDowngrade {
+		e.downgradeLine(n, victim)
+	}
+}
+
+// trainRemove updates the predictor when a line leaves the supplier set.
+func (e *Engine) trainRemove(n *node, addr cache.LineAddr) {
+	if n.pred == nil {
+		return
+	}
+	n.pred.Remove(addr)
+	e.meter.AddPredictorUpdate(n.pred.Kind() == predictorSupersetKind)
+}
+
+// downgradeLine demotes a supplier line to S_L because the Exact predictor
+// evicted its entry: S_G/E silently, D/T with a write-back (Section 4.3.3).
+func (e *Engine) downgradeLine(n *node, addr cache.LineAddr) {
+	coreID, ok := n.supplierIdx[addr]
+	if !ok {
+		return // already gone (invalidated between predictor ops)
+	}
+	line := n.l2[coreID].Lookup(addr)
+	if line == nil || !line.State.GlobalSupplier() {
+		return
+	}
+	e.stats.Downgrades++
+	e.lineTrace(addr, "downgrade n%d c%d %v v%d", n.id, coreID, line.State, line.Version)
+	e.meter.AddDowngradeOp()
+	if line.State.DirtyData() {
+		e.nodes[e.homeOf(addr)].mem.WriteBack(addr, line.Version)
+		e.stats.Writebacks++
+		e.stats.DowngradeWritebacks++
+		e.meter.AddExtraMemAccess()
+	}
+	// The downgraded line itself survives as S_L — a sharer no ring snoop
+	// can see under exact/superset filtering — and an SG/T master may
+	// additionally leave remote plain-S copies masterless. Either way the
+	// home must refuse Exclusive grants until the next write sweeps.
+	e.nodes[e.homeOf(addr)].mem.MarkShared(addr)
+	n.l2[coreID].SetState(addr, cache.DowngradeTransition(line.State))
+	delete(n.supplierIdx, addr)
+	e.downgraded[addr] = true
+	// The predictor entry is already evicted; no Remove needed.
+}

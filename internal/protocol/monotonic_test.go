@@ -1,0 +1,95 @@
+package protocol_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/protocol"
+)
+
+// TestPerCoreVersionMonotonicity verifies coherence's program-order
+// guarantee: the data generations a single core observes for one line
+// never go backwards — a read can never return older data than an earlier
+// read or write by the same core.
+func TestPerCoreVersionMonotonicity(t *testing.T) {
+	for _, alg := range []config.Algorithm{config.Lazy, config.Eager, config.SupersetAgg, config.Exact} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			kern, e := testEngine(t, alg)
+			type key struct {
+				node, core int
+				addr       cache.LineAddr
+			}
+			last := map[key]uint64{}
+			violation := ""
+			e.SetObserver(func(node, core int, write bool, addr cache.LineAddr, version uint64) {
+				k := key{node, core, addr}
+				if version < last[k] && violation == "" {
+					violation = fmt.Sprintf("core (n%d,c%d) observed line %#x go back from v%d to v%d (write=%v)",
+						node, core, addr, last[k], version, write)
+				}
+				if version > last[k] {
+					last[k] = version
+				}
+			})
+			rng := rand.New(rand.NewSource(31))
+			issued, completed := 0, 0
+			for i := 0; i < 1200; i++ {
+				node, c := rng.Intn(8), rng.Intn(4)
+				addr := cache.LineAddr(rng.Intn(24))
+				kind := protocol.Load
+				if rng.Intn(3) == 0 {
+					kind = protocol.Store
+				}
+				issued++
+				e.Access(node, c, kind, addr, func() { completed++ })
+				if rng.Intn(5) == 0 {
+					kern.RunAll()
+				}
+			}
+			run(t, kern, e)
+			if completed != issued {
+				t.Fatalf("completed %d/%d", completed, issued)
+			}
+			if violation != "" {
+				t.Fatal(violation)
+			}
+		})
+	}
+}
+
+// TestWritesObserveStrictlyIncreasingVersions: every write a core performs
+// produces a strictly newer generation than anything it saw before.
+func TestWritesObserveStrictlyIncreasingVersions(t *testing.T) {
+	kern, e := testEngine(t, config.SupersetCon)
+	const line = cache.LineAddr(0x5)
+	var writes []uint64
+	e.SetObserver(func(node, core int, write bool, addr cache.LineAddr, version uint64) {
+		if write && addr == line {
+			writes = append(writes, version)
+		}
+	})
+	for i := 0; i < 16; i++ {
+		e.Access(i%8, i%4, protocol.Store, line, nil)
+		if i%4 == 3 {
+			kern.RunAll()
+		}
+	}
+	run(t, kern, e)
+	if len(writes) != 16 {
+		t.Fatalf("observed %d writes, want 16", len(writes))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range writes {
+		if seen[v] {
+			t.Fatalf("write generation %d produced twice", v)
+		}
+		seen[v] = true
+	}
+	if e.LatestVersion(line) != 16 {
+		t.Errorf("latest = %d, want 16", e.LatestVersion(line))
+	}
+}

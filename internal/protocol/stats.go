@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"reflect"
+
+	"flexsnoop/internal/predictor"
+)
+
+// Stats aggregates the engine's counters. The Figure 6-9 metrics derive
+// directly from these fields.
+type Stats struct {
+	// Processor-side accesses.
+	Loads  uint64
+	Stores uint64
+
+	// Cache hit/miss counts, summed over all cores.
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+
+	// Supply sources for read misses that left the core's own L2.
+	LocalSupplies  uint64 // another cache in the same CMP
+	CacheSupplies  uint64 // a cache in another CMP, over the ring
+	MemorySupplies uint64 // main memory
+
+	// Ring transactions issued (including retries).
+	ReadRequests  uint64
+	WriteRequests uint64
+	Retries       uint64
+	Squashes      uint64
+	// UseOnceReads completed during an overlapping write and delivered
+	// their data without caching a copy.
+	UseOnceReads uint64
+
+	// Snoop operations performed at nodes other than the requester.
+	ReadSnoopOps  uint64
+	WriteSnoopOps uint64
+
+	// Ring message-segment transmissions (the Figure 7 metric), total
+	// and for read transactions only.
+	RingSegments       uint64
+	ReadRingSegments   uint64
+	RingLinkWaitCycles uint64
+
+	// Memory system.
+	MemReads     uint64
+	MemWrites    uint64
+	Prefetches   uint64
+	PrefetchHits uint64
+	Writebacks   uint64
+
+	// Exact-algorithm downgrade activity (Section 4.3.3).
+	Downgrades          uint64
+	DowngradeWritebacks uint64
+	DowngradeRereads    uint64
+
+	// Predictor activity and accuracy (Figure 11).
+	PredictorLookups uint64
+	PredictorInserts uint64
+	ExcludeHits      uint64
+	Accuracy         predictor.Accuracy
+	// PerfectAccuracy is the conceptual perfect predictor checked at
+	// every node until the supplier is found (Figure 11's leftmost bars).
+	PerfectAccuracy predictor.Accuracy
+
+	// Read-miss service latency (cycles) for misses that left the CMP.
+	ReadMissCycles uint64
+	ReadMissCount  uint64
+	// ReadMissHist buckets those latencies by power of two: bucket i
+	// holds misses with latency in [2^(i+5), 2^(i+6)) cycles (bucket 0
+	// is <64, the last bucket is everything >= 2^16).
+	ReadMissHist [12]uint64
+
+	// Contention diagnostics.
+	BusWaitCycles  uint64
+	MemQueueCycles uint64
+}
+
+// HistBucket returns the ReadMissHist bucket index for a latency.
+func HistBucket(cycles uint64) int {
+	b := 0
+	for v := cycles >> 6; v > 0 && b < 11; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// HistBucketLabel names a ReadMissHist bucket.
+func HistBucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "<64"
+	case i >= 11:
+		return ">=64k"
+	default:
+		return bucketLabels[i]
+	}
+}
+
+var bucketLabels = [...]string{"", "64-127", "128-255", "256-511", "512-1023",
+	"1k-2k", "2k-4k", "4k-8k", "8k-16k", "16k-32k", "32k-64k"}
+
+// Sub returns s minus base, field-wise — the statistics accumulated after
+// a measurement-warmup snapshot. Every numeric field subtracts; nested
+// accuracy records subtract element-wise.
+func (s Stats) Sub(base Stats) Stats {
+	out := s
+	ov := reflect.ValueOf(&out).Elem()
+	bv := reflect.ValueOf(base)
+	subInto(ov, bv)
+	return out
+}
+
+func subInto(dst, base reflect.Value) {
+	for i := 0; i < dst.NumField(); i++ {
+		d, b := dst.Field(i), base.Field(i)
+		switch d.Kind() {
+		case reflect.Uint64:
+			d.SetUint(d.Uint() - b.Uint())
+		case reflect.Struct:
+			subInto(d, b)
+		case reflect.Array:
+			for j := 0; j < d.Len(); j++ {
+				d.Index(j).SetUint(d.Index(j).Uint() - b.Index(j).Uint())
+			}
+		}
+	}
+}
+
+// SnoopsPerReadRequest returns the Figure 6 metric.
+func (s Stats) SnoopsPerReadRequest() float64 {
+	if s.ReadRequests == 0 {
+		return 0
+	}
+	return float64(s.ReadSnoopOps) / float64(s.ReadRequests)
+}
+
+// ReadSegmentsPerRequest returns ring segment transmissions per read
+// request (the Figure 7 quantity before normalisation).
+func (s Stats) ReadSegmentsPerRequest() float64 {
+	if s.ReadRequests == 0 {
+		return 0
+	}
+	return float64(s.ReadRingSegments) / float64(s.ReadRequests)
+}
+
+// AvgReadMissLatency returns the mean off-CMP read-miss latency in cycles.
+func (s Stats) AvgReadMissLatency() float64 {
+	if s.ReadMissCount == 0 {
+		return 0
+	}
+	return float64(s.ReadMissCycles) / float64(s.ReadMissCount)
+}

@@ -1,0 +1,183 @@
+// Package ring models the unidirectional ring(s) logically embedded in the
+// machine's network to carry snoop messages (Section 2.1.4). Data-transfer
+// messages never use the ring; they travel on the torus (package
+// interconnect).
+//
+// When more than one ring is embedded, snoop requests are mapped to rings
+// by their memory address (Section 2.2), balancing load on the underlying
+// physical network.
+package ring
+
+import (
+	"fmt"
+
+	"flexsnoop/internal/bus"
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/sim"
+)
+
+// Kind distinguishes read from write snoop transactions.
+type Kind int
+
+const (
+	// ReadSnoop looks for a supplier of the line.
+	ReadSnoop Kind = iota
+	// WriteSnoop invalidates every cached copy (and fetches data on a
+	// write miss).
+	WriteSnoop
+)
+
+func (k Kind) String() string {
+	if k == ReadSnoop {
+		return "read"
+	}
+	return "write"
+}
+
+// TxnID uniquely identifies a coherence transaction machine-wide. Retries
+// of a squashed transaction get a fresh TxnID but keep their age.
+type TxnID uint64
+
+// Message is a snoop message on the embedded ring. A message may carry a
+// request component, a reply component, or both (the paper's "combined
+// Request/Reply"). ForwardThenSnoop splits a combined message; reply
+// merging recombines the halves (Table 2).
+type Message struct {
+	Txn       TxnID
+	Kind      Kind
+	Addr      cache.LineAddr
+	Requester int // CMP node id
+
+	// Age orders transactions for collision resolution: the cycle the
+	// original transaction was issued (retries keep it).
+	Age sim.Time
+
+	// HasRequest / HasReply select which components this message carries.
+	HasRequest bool
+	HasReply   bool
+
+	// NeedsData marks a write-miss snoop: the supplier must transfer the
+	// line (and ownership) to the requester, not just invalidate.
+	NeedsData bool
+
+	// Reply-side aggregate state. On a combined message it reflects the
+	// nodes visited so far.
+	Found    bool // a supplier was located (read) or data claimed (write)
+	Supplier int  // the supplying node, valid when Found
+
+	// SharerSeen: some snooped node held a non-supplier copy. Together
+	// with SnoopedMask it decides whether memory may grant E.
+	SharerSeen bool
+	// SnoopedMask has bit i set when node i performed the snoop
+	// operation for this transaction.
+	SnoopedMask uint64
+
+	// Squashed transactions perform no further snoops; the requester
+	// retries when the message returns (Section 2.1.4).
+	Squashed bool
+
+	// SharedGrant demotes the requester's memory grant to plain Shared:
+	// set when the request crosses another in-flight read of the same
+	// line, so that two concurrent memory reads cannot both install
+	// master states.
+	SharedGrant bool
+
+	// InvAcks counts nodes that completed invalidation (write snoops).
+	InvAcks int
+}
+
+// Clone returns a copy of the message (for splitting).
+func (m *Message) Clone() *Message {
+	c := *m
+	return &c
+}
+
+// AllSnooped reports whether every node except the requester snooped.
+func (m *Message) AllSnooped(numNodes int) bool {
+	want := uint64(1)<<uint(numNodes) - 1
+	want &^= uint64(1) << uint(m.Requester)
+	return m.SnoopedMask&want == want
+}
+
+// MergeReply folds reply information from another message half into m.
+func (m *Message) MergeReply(other *Message) {
+	if other.Found {
+		m.Found = true
+		m.Supplier = other.Supplier
+	}
+	m.SharerSeen = m.SharerSeen || other.SharerSeen
+	m.SnoopedMask |= other.SnoopedMask
+	m.Squashed = m.Squashed || other.Squashed
+	m.SharedGrant = m.SharedGrant || other.SharedGrant
+	m.InvAcks += other.InvAcks
+}
+
+// Ring is one embedded unidirectional ring over n nodes: node i forwards
+// to node (i+1) mod n. Links are FIFO with a fixed latency and a short
+// serialization occupancy, modelled per link.
+type Ring struct {
+	n            int
+	linkCycles   sim.Time
+	occupancy    sim.Time
+	links        []bus.Bus // links[i]: i -> (i+1)%n
+	Transmitted  uint64    // message-segment transmissions (Figure 7 metric)
+	ReadSegments uint64    // subset of Transmitted for read snoops
+}
+
+// NewRing builds a ring over n nodes with the given link latency and
+// per-message link occupancy (serialization time).
+func NewRing(n int, linkCycles, occupancyCycles int) *Ring {
+	if n < 2 {
+		panic(fmt.Sprintf("ring: need at least 2 nodes, got %d", n))
+	}
+	if linkCycles <= 0 {
+		panic("ring: link latency must be positive")
+	}
+	return &Ring{
+		n:          n,
+		linkCycles: sim.Time(linkCycles),
+		occupancy:  sim.Time(occupancyCycles),
+		links:      make([]bus.Bus, n),
+	}
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return r.n }
+
+// Next returns the ring successor of node i.
+func (r *Ring) Next(i int) int { return (i + 1) % r.n }
+
+// Distance returns the number of links from 'from' to 'to' travelling in
+// ring direction.
+func (r *Ring) Distance(from, to int) int {
+	return ((to-from)%r.n + r.n) % r.n
+}
+
+// Send transmits one message segment from node 'from' to its successor,
+// returning the arrival time. The link serializes back-to-back messages.
+func (r *Ring) Send(now sim.Time, from int, m *Message) (arrive sim.Time) {
+	start := r.links[from].Reserve(now, r.occupancy)
+	r.Transmitted++
+	if m.Kind == ReadSnoop {
+		r.ReadSegments++
+	}
+	return start + r.linkCycles
+}
+
+// LinkWaits returns total cycles messages spent waiting for busy links.
+func (r *Ring) LinkWaits() uint64 {
+	var t uint64
+	for i := range r.links {
+		t += r.links[i].WaitCycles
+	}
+	return t
+}
+
+// Select maps a line address to a ring index among nrings (Section 2.2:
+// snoop requests are assigned to rings by address).
+func Select(addr cache.LineAddr, nrings int) int {
+	if nrings <= 1 {
+		return 0
+	}
+	return int(addr % cache.LineAddr(nrings))
+}

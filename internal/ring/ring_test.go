@@ -1,0 +1,166 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexsnoop/internal/cache"
+)
+
+func TestNextWrapsAround(t *testing.T) {
+	r := NewRing(8, 39, 6)
+	for i := 0; i < 7; i++ {
+		if r.Next(i) != i+1 {
+			t.Errorf("Next(%d) = %d", i, r.Next(i))
+		}
+	}
+	if r.Next(7) != 0 {
+		t.Errorf("Next(7) = %d, want 0", r.Next(7))
+	}
+}
+
+func TestDistance(t *testing.T) {
+	r := NewRing(8, 39, 6)
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 7, 7}, {7, 0, 1}, {5, 3, 6}, {3, 5, 2},
+	}
+	for _, tc := range cases {
+		if got := r.Distance(tc.from, tc.to); got != tc.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceProperty(t *testing.T) {
+	r := NewRing(8, 39, 6)
+	f := func(a, b uint8) bool {
+		from, to := int(a%8), int(b%8)
+		d := r.Distance(from, to)
+		if d < 0 || d > 7 {
+			return false
+		}
+		// Walking d links from 'from' lands on 'to'.
+		n := from
+		for i := 0; i < d; i++ {
+			n = r.Next(n)
+		}
+		return n == to
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendLatencyAndSerialization(t *testing.T) {
+	r := NewRing(4, 39, 6)
+	m := &Message{Kind: ReadSnoop}
+	if got := r.Send(100, 0, m); got != 100+39 {
+		t.Errorf("first send arrives at %d, want 139", got)
+	}
+	// Back-to-back on the same link serializes by the occupancy.
+	if got := r.Send(100, 0, m); got != 106+39 {
+		t.Errorf("second send arrives at %d, want 145", got)
+	}
+	// A different link is independent.
+	if got := r.Send(100, 1, m); got != 139 {
+		t.Errorf("other-link send arrives at %d, want 139", got)
+	}
+	if r.Transmitted != 3 || r.ReadSegments != 3 {
+		t.Errorf("segments = %d/%d, want 3/3", r.Transmitted, r.ReadSegments)
+	}
+	w := &Message{Kind: WriteSnoop}
+	r.Send(200, 2, w)
+	if r.Transmitted != 4 || r.ReadSegments != 3 {
+		t.Errorf("write segment miscounted: %d/%d", r.Transmitted, r.ReadSegments)
+	}
+}
+
+func TestAllSnooped(t *testing.T) {
+	m := &Message{Requester: 2}
+	if m.AllSnooped(4) {
+		t.Error("empty mask reported all-snooped")
+	}
+	m.SnoopedMask = 0b1011 // nodes 0,1,3 — all but requester 2
+	if !m.AllSnooped(4) {
+		t.Error("complete mask not reported all-snooped")
+	}
+	m.SnoopedMask = 0b1111 // requester bit set too: still fine
+	if !m.AllSnooped(4) {
+		t.Error("requester bit should not matter")
+	}
+	m.SnoopedMask = 0b0011
+	if m.AllSnooped(4) {
+		t.Error("missing node 3 reported all-snooped")
+	}
+}
+
+func TestMergeReply(t *testing.T) {
+	a := &Message{SnoopedMask: 0b0001, InvAcks: 1}
+	b := &Message{Found: true, Supplier: 3, SharerSeen: true, SnoopedMask: 0b0100, InvAcks: 2}
+	a.MergeReply(b)
+	if !a.Found || a.Supplier != 3 {
+		t.Error("found/supplier not merged")
+	}
+	if !a.SharerSeen {
+		t.Error("sharer flag not merged")
+	}
+	if a.SnoopedMask != 0b0101 {
+		t.Errorf("mask = %b, want 0b0101", a.SnoopedMask)
+	}
+	if a.InvAcks != 3 {
+		t.Errorf("InvAcks = %d, want 3", a.InvAcks)
+	}
+	// Merging a non-found half must not clear Found.
+	a.MergeReply(&Message{})
+	if !a.Found {
+		t.Error("merge cleared Found")
+	}
+	// Squash propagates.
+	a.MergeReply(&Message{Squashed: true})
+	if !a.Squashed {
+		t.Error("merge lost squash flag")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := &Message{Txn: 7, Found: true, SnoopedMask: 5}
+	c := m.Clone()
+	c.SnoopedMask = 9
+	c.Found = false
+	if m.SnoopedMask != 5 || !m.Found {
+		t.Error("clone aliases the original")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if Select(5, 1) != 0 {
+		t.Error("single ring must map everything to 0")
+	}
+	// With two rings, consecutive lines alternate (load balancing).
+	if Select(4, 2) != 0 || Select(5, 2) != 1 {
+		t.Error("two-ring interleave wrong")
+	}
+	counts := [2]int{}
+	for a := cache.LineAddr(0); a < 1000; a++ {
+		counts[Select(a, 2)]++
+	}
+	if counts[0] != 500 || counts[1] != 500 {
+		t.Errorf("ring balance = %v, want even", counts)
+	}
+}
+
+func TestBadRingPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewRing(1, 39, 6) },
+		func() { NewRing(8, 0, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

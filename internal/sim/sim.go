@@ -1,0 +1,158 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// flexible-snooping machine model.
+//
+// The kernel is a single-threaded event queue keyed by (cycle, sequence
+// number). Events scheduled for the same cycle execute in the order they
+// were scheduled, which makes every simulation fully deterministic for a
+// fixed configuration and seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, measured in processor cycles.
+type Time uint64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxUint64)
+
+// Event is a scheduled callback.
+type Event struct {
+	when  Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+	dead  bool
+}
+
+// When returns the cycle at which the event fires.
+func (e *Event) When() Time { return e.when }
+
+// eventQueue implements heap.Interface over pending events.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator.
+//
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// Executed counts events that have run to completion.
+	Executed uint64
+}
+
+// NewKernel returns an empty kernel at cycle zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule runs fn at the given absolute cycle. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{when: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After runs fn delay cycles from now.
+func (k *Kernel) After(delay Time, fn func()) *Event {
+	return k.Schedule(k.now+delay, fn)
+}
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// already ran (or was already cancelled) is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+	}
+}
+
+// Pending reports the number of events waiting to run.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		e.dead = true
+		k.now = e.when
+		e.fn()
+		k.Executed++
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// simulated clock passes limit. It returns the time of the last executed
+// event.
+func (k *Kernel) Run(limit Time) Time {
+	k.stopped = false
+	for !k.stopped && k.queue.Len() > 0 {
+		if next := k.queue[0].when; next > limit {
+			break
+		}
+		k.Step()
+	}
+	return k.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (k *Kernel) RunAll() Time { return k.Run(MaxTime) }

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		k.Schedule(at, func() { got = append(got, at) })
+	}
+	k.RunAll()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { got = append(got, i) })
+	}
+	k.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-cycle events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	k := NewKernel()
+	var fired Time
+	k.Schedule(100, func() {
+		k.After(50, func() { fired = k.Now() })
+	})
+	k.RunAll()
+	if fired != 150 {
+		t.Errorf("After(50) from t=100 fired at %d, want 150", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.Schedule(50, func() {})
+	})
+	k.RunAll()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event function did not panic")
+		}
+	}()
+	NewKernel().Schedule(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	e := k.Schedule(10, func() { ran = true })
+	k.Cancel(e)
+	k.RunAll()
+	if ran {
+		t.Error("cancelled event still ran")
+	}
+	// Double-cancel and cancel-after-run must be no-ops.
+	k.Cancel(e)
+	e2 := k.Schedule(k.Now()+1, func() {})
+	k.RunAll()
+	k.Cancel(e2)
+}
+
+func TestCancelNil(t *testing.T) {
+	NewKernel().Cancel(nil) // must not panic
+}
+
+func TestRunLimit(t *testing.T) {
+	k := NewKernel()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.Schedule(at, func() { ran = append(ran, at) })
+	}
+	k.Run(25)
+	if len(ran) != 2 {
+		t.Fatalf("Run(25) executed %d events, want 2", len(ran))
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	k.RunAll()
+	if len(ran) != 4 {
+		t.Fatalf("RunAll left events behind: ran %d", len(ran))
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(MaxTime)
+	if count != 3 {
+		t.Errorf("Stop did not halt run: executed %d events", count)
+	}
+	if k.Pending() != 7 {
+		t.Errorf("Pending = %d after Stop, want 7", k.Pending())
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 5; i++ {
+		k.Schedule(Time(i), func() {})
+	}
+	k.RunAll()
+	if k.Executed != 5 {
+		t.Errorf("Executed = %d, want 5", k.Executed)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// Events scheduled by events must run, including chains.
+	k := NewKernel()
+	depth := 0
+	var descend func()
+	descend = func() {
+		depth++
+		if depth < 100 {
+			k.After(1, descend)
+		}
+	}
+	k.Schedule(0, descend)
+	end := k.RunAll()
+	if depth != 100 {
+		t.Errorf("chain depth = %d, want 100", depth)
+	}
+	if end != 99 {
+		t.Errorf("final time = %d, want 99", end)
+	}
+}
+
+// TestPropertyOrdering checks, for random event sets, that execution order
+// is exactly the (time, insertion) sort of the input.
+func TestPropertyOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) > 200 {
+			times = times[:200]
+		}
+		k := NewKernel()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			k.Schedule(at, func() { got = append(got, rec{at, i}) })
+		}
+		k.RunAll()
+		want := make([]rec, 0, len(times))
+		for i, raw := range times {
+			want = append(want, rec{Time(raw), i})
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	k := NewKernel()
+	var events []*Event
+	ran := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		i := i
+		events = append(events, k.Schedule(Time(rng.Intn(1000)), func() { ran[i] = true }))
+	}
+	cancelled := map[int]bool{}
+	for i := 0; i < 250; i++ {
+		j := rng.Intn(len(events))
+		k.Cancel(events[j])
+		cancelled[j] = true
+	}
+	k.RunAll()
+	for i := range events {
+		if cancelled[i] && ran[i] {
+			t.Fatalf("event %d ran despite cancellation", i)
+		}
+		if !cancelled[i] && !ran[i] {
+			t.Fatalf("event %d never ran", i)
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 1000; j++ {
+			k.Schedule(Time(j%97), func() {})
+		}
+		k.RunAll()
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars as ASCII — the shape of the
+// paper's Figures 6-9 without leaving the terminal.
+type BarChart struct {
+	Title string
+	// MaxWidth is the widest bar in characters (default 50).
+	MaxWidth int
+
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, MaxWidth: 50}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// AddGroup appends a group of bars under a heading, in sorted key order.
+func (c *BarChart) AddGroup(heading string, values map[string]float64) {
+	c.Add("— "+heading, -1) // sentinel rendered as a heading
+	for _, k := range SortedKeys(values) {
+		c.Add(k, values[k])
+	}
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.MaxWidth
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	labelW := 0
+	for i, v := range c.values {
+		if v > max {
+			max = v
+		}
+		if len(c.labels[i]) > labelW {
+			labelW = len(c.labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.values {
+		if v < 0 { // heading sentinel
+			fmt.Fprintf(&b, "%s\n", c.labels[i])
+			continue
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "  %-*s %7.3f %s\n", labelW, c.labels[i], v, strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// CSV renders rows of labelled values as comma-separated text with a
+// header, for spreadsheet or gnuplot consumption. Maps are emitted in
+// sorted key order; every row must share the baseline header's keys.
+func CSV(header string, rows map[string]map[string]float64) string {
+	// Collect the union of columns.
+	colSet := map[string]bool{}
+	for _, row := range rows {
+		for k := range row {
+			colSet[k] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for k := range colSet {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+
+	var b strings.Builder
+	b.WriteString(header)
+	for _, c := range cols {
+		b.WriteString("," + c)
+	}
+	b.WriteString("\n")
+	rowKeys := make([]string, 0, len(rows))
+	for k := range rows {
+		rowKeys = append(rowKeys, k)
+	}
+	sort.Strings(rowKeys)
+	for _, rk := range rowKeys {
+		b.WriteString(rk)
+		for _, c := range cols {
+			if v, ok := rows[rk][c]; ok {
+				fmt.Fprintf(&b, ",%.6g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

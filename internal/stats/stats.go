@@ -1,0 +1,142 @@
+// Package stats provides the aggregation and table-rendering helpers used
+// to report experiment results the way the paper does: arithmetic means
+// for absolute counts (Figure 6), geometric means for quantities
+// normalised to a baseline (Figures 7-9), and fixed-width ASCII tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ArithMean returns the arithmetic mean, or 0 for an empty input.
+func ArithMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean, or 0 for an empty input. All inputs
+// must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize divides every value by the baseline key's value, reproducing
+// the paper's "normalised to Lazy" bars.
+func Normalize(values map[string]float64, baseline string) (map[string]float64, error) {
+	base, ok := values[baseline]
+	if !ok {
+		return nil, fmt.Errorf("stats: baseline %q missing", baseline)
+	}
+	if base == 0 {
+		return nil, fmt.Errorf("stats: baseline %q is zero", baseline)
+	}
+	out := make(map[string]float64, len(values))
+	for k, v := range values {
+		out[k] = v / base
+	}
+	return out, nil
+}
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each value is rendered with
+// %v, floats with 3 decimals.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		default:
+			row = append(row, fmt.Sprint(c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString("\n")
+	for i := range sep {
+		fmt.Fprintf(&b, "%s  ", sep[i])
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SortedKeys returns a map's keys in sorted order (stable table output).
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

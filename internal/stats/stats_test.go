@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithMean(t *testing.T) {
+	if got := ArithMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("ArithMean = %v, want 2", got)
+	}
+	if got := ArithMean(nil); got != 0 {
+		t.Errorf("empty ArithMean = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{8}); math.Abs(got-8) > 1e-12 {
+		t.Errorf("GeoMean(8) = %v, want 8", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("empty GeoMean = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of non-positive value did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+// Property: arith mean >= geo mean for positive inputs (AM-GM).
+func TestAMGMInequality(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r%1000)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return ArithMean(xs)+1e-9 >= GeoMean(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	vals := map[string]float64{"Lazy": 4, "Eager": 8, "Oracle": 2}
+	norm, err := Normalize(vals, "Lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm["Lazy"] != 1 || norm["Eager"] != 2 || norm["Oracle"] != 0.5 {
+		t.Errorf("Normalize = %v", norm)
+	}
+	if _, err := Normalize(vals, "Missing"); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if _, err := Normalize(map[string]float64{"Lazy": 0}, "Lazy"); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "Algorithm", "Value")
+	tab.AddRowf("Lazy", 1.0)
+	tab.AddRowf("Eager", 1.805)
+	out := tab.String()
+	for _, want := range []string{"Figure X", "Algorithm", "Lazy", "1.000", "Eager", "1.805"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Short rows are padded, not dropped.
+	tab.AddRow("OnlyOne")
+	if !strings.Contains(tab.String(), "OnlyOne") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]float64{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Figure 6")
+	c.Add("Lazy", 5)
+	c.Add("Eager", 7)
+	c.Add("Oracle", 0.7)
+	out := c.String()
+	for _, want := range []string{"Figure 6", "Lazy", "Eager", "5.000", "7.000", "0.700"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	var lazyBar, eagerBar int
+	for _, l := range lines {
+		if strings.Contains(l, "Lazy") {
+			lazyBar = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "Eager") {
+			eagerBar = strings.Count(l, "#")
+		}
+	}
+	if eagerBar <= lazyBar {
+		t.Errorf("Eager bar (%d) not longer than Lazy bar (%d)", eagerBar, lazyBar)
+	}
+}
+
+func TestBarChartGroups(t *testing.T) {
+	c := NewBarChart("")
+	c.AddGroup("SPLASH-2", map[string]float64{"b": 2, "a": 1})
+	out := c.String()
+	if !strings.Contains(out, "— SPLASH-2") {
+		t.Errorf("missing group heading:\n%s", out)
+	}
+	if strings.Index(out, "a") > strings.Index(out, "b") {
+		t.Error("group keys not sorted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	rows := map[string]map[string]float64{
+		"Lazy":  {"SPLASH-2": 1, "SPECjbb": 1},
+		"Eager": {"SPLASH-2": 1.9},
+	}
+	out := CSV("algorithm", rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "algorithm,SPECjbb,SPLASH-2" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "Eager,,1.9" {
+		t.Errorf("Eager row = %q (missing cells must stay empty)", lines[1])
+	}
+	if lines[2] != "Lazy,1,1" {
+		t.Errorf("Lazy row = %q", lines[2])
+	}
+}
+
+func TestSVGBarChart(t *testing.T) {
+	c := NewSVGBarChart("Figure 9", "energy (normalised to Lazy)")
+	c.Set("SPLASH-2", "Lazy", 1.0)
+	c.Set("SPLASH-2", "Eager", 1.78)
+	c.Set("SPECjbb", "Lazy", 1.0)
+	c.Set("SPECjbb", "Eager", 1.74)
+	out := c.String()
+	for _, want := range []string{"<svg", "</svg>", "Figure 9", "SPLASH-2", "SPECjbb",
+		"Lazy", "Eager", "Eager: 1.780"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 4 bars -> 4 data rects (plus the background rect and legend swatches).
+	if n := strings.Count(out, "<title>"); n != 4 {
+		t.Errorf("SVG has %d bars, want 4", n)
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := NewSVGBarChart(`<b>&"title"`, "")
+	c.Set("g<1>", "s&2", 1)
+	out := c.String()
+	if strings.Contains(out, "<b>") || strings.Contains(out, "g<1>") {
+		t.Error("SVG did not escape markup in labels")
+	}
+	if !strings.Contains(out, "&lt;b&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGSetGroupSorted(t *testing.T) {
+	c := NewSVGBarChart("", "")
+	c.SetGroup("G", map[string]float64{"b": 2, "a": 1, "c": 3})
+	if len(c.series) != 3 || c.series[0] != "a" || c.series[2] != "c" {
+		t.Errorf("series order = %v", c.series)
+	}
+}
+
+func TestSVGEmptyChartValid(t *testing.T) {
+	out := NewSVGBarChart("empty", "").String()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("empty chart is not a valid SVG skeleton")
+	}
+}

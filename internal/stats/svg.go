@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SVGBarChart renders grouped vertical bars as a standalone SVG document —
+// the visual form of the paper's Figures 6-9. Groups are workload classes;
+// series are algorithms.
+type SVGBarChart struct {
+	Title  string
+	YLabel string
+
+	// Width and Height of the drawing in pixels (defaults 720x360).
+	Width, Height int
+
+	groups []string
+	series []string
+	values map[string]map[string]float64 // group -> series -> value
+}
+
+// NewSVGBarChart creates an empty chart.
+func NewSVGBarChart(title, ylabel string) *SVGBarChart {
+	return &SVGBarChart{
+		Title: title, YLabel: ylabel,
+		Width: 720, Height: 360,
+		values: map[string]map[string]float64{},
+	}
+}
+
+// Set records one bar. Groups and series appear in first-Set order.
+func (c *SVGBarChart) Set(group, series string, value float64) {
+	if c.values[group] == nil {
+		c.values[group] = map[string]float64{}
+		c.groups = append(c.groups, group)
+	}
+	if _, ok := c.values[group][series]; !ok {
+		found := false
+		for _, s := range c.series {
+			if s == series {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.series = append(c.series, series)
+		}
+	}
+	c.values[group][series] = value
+}
+
+// SetGroup records a whole group's bars in sorted series order.
+func (c *SVGBarChart) SetGroup(group string, vals map[string]float64) {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Set(group, k, vals[k])
+	}
+}
+
+// A brand-neutral categorical palette (dark-on-light friendly).
+var svgPalette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+	"#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// String renders the SVG document.
+func (c *SVGBarChart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 360
+	}
+	const (
+		marginL = 56
+		marginR = 16
+		marginT = 40
+		marginB = 64
+	)
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+
+	max := 0.0
+	for _, g := range c.groups {
+		for _, s := range c.series {
+			if v := c.values[g][s]; v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	// Headroom and a round-ish tick step.
+	yMax := max * 1.1
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, svgEscape(c.Title))
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, svgEscape(c.YLabel))
+	}
+
+	// Y axis with 5 gridlines.
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := marginT + plotH - int(float64(plotH)*float64(i)/5)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.2f</text>`+"\n", marginL-6, y+3, v)
+	}
+
+	// Bars.
+	ng, ns := len(c.groups), len(c.series)
+	if ng > 0 && ns > 0 {
+		groupW := float64(plotW) / float64(ng)
+		barW := groupW * 0.8 / float64(ns)
+		for gi, g := range c.groups {
+			for si, s := range c.series {
+				v, ok := c.values[g][s]
+				if !ok {
+					continue
+				}
+				bh := int(float64(plotH) * v / yMax)
+				x := float64(marginL) + groupW*float64(gi) + groupW*0.1 + barW*float64(si)
+				y := marginT + plotH - bh
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s / %s: %.3f</title></rect>`+"\n",
+					x, y, barW*0.92, bh, svgPalette[si%len(svgPalette)], svgEscape(g), svgEscape(s), v)
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				float64(marginL)+groupW*(float64(gi)+0.5), marginT+plotH+16, svgEscape(g))
+		}
+	}
+
+	// Legend along the bottom.
+	lx := marginL
+	ly := h - 18
+	for si, s := range c.series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n", lx+14, ly, svgEscape(s))
+		lx += 14 + 7*len(s) + 16
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

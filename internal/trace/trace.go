@@ -1,0 +1,140 @@
+// Package trace serializes per-core memory reference streams to a compact
+// binary format, enabling the trace-driven simulation mode the paper used
+// for the SPEC workloads (Section 5.1): the same trace is replayed under
+// every snooping algorithm, so comparisons are exact.
+//
+// Format (little-endian):
+//
+//	magic   uint32  "FSTR"
+//	version uint16
+//	streams uint16
+//	per stream: count uint64, then count records of
+//	    compute uint32
+//	    addr    uint64   (bit 63: store flag)
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/workload"
+)
+
+const (
+	magic   = uint32(0x46535452) // "FSTR"
+	version = uint16(1)
+	// storeBit marks store references in the packed address word.
+	storeBit = uint64(1) << 63
+)
+
+// Write serializes one stream per core.
+func Write(w io.Writer, streams [][]workload.Op) error {
+	if len(streams) > 0xFFFF {
+		return fmt.Errorf("trace: %d streams exceed the format limit", len(streams))
+	}
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(streams))); err != nil {
+		return err
+	}
+	for _, ops := range streams {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(ops))); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			packed := uint64(op.Addr)
+			if packed&storeBit != 0 {
+				return fmt.Errorf("trace: address %#x collides with the store flag", op.Addr)
+			}
+			if op.Store {
+				packed |= storeBit
+			}
+			if err := binary.Write(bw, binary.LittleEndian, op.Compute); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, packed); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([][]workload.Op, error) {
+	br := bufio.NewReader(r)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	var nstreams uint16
+	if err := binary.Read(br, binary.LittleEndian, &nstreams); err != nil {
+		return nil, err
+	}
+	streams := make([][]workload.Op, nstreams)
+	for i := range streams {
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		const sane = 1 << 32
+		if count > sane {
+			return nil, fmt.Errorf("trace: stream %d claims %d ops", i, count)
+		}
+		// Never preallocate by the untrusted count: a hostile header
+		// could demand gigabytes. Seed a small capacity and let append
+		// grow as records actually parse.
+		prealloc := count
+		if prealloc > 4096 {
+			prealloc = 4096
+		}
+		ops := make([]workload.Op, 0, prealloc)
+		for j := uint64(0); j < count; j++ {
+			var compute uint32
+			var packed uint64
+			if err := binary.Read(br, binary.LittleEndian, &compute); err != nil {
+				return nil, fmt.Errorf("trace: stream %d op %d: %w", i, j, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &packed); err != nil {
+				return nil, fmt.Errorf("trace: stream %d op %d: %w", i, j, err)
+			}
+			ops = append(ops, workload.Op{
+				Compute: compute,
+				Addr:    cache.LineAddr(packed &^ storeBit),
+				Store:   packed&storeBit != 0,
+			})
+		}
+		streams[i] = ops
+	}
+	return streams, nil
+}
+
+// Record materializes a generator's stream (for writing a trace).
+func Record(src workload.Source) []workload.Op {
+	var ops []workload.Op
+	for {
+		op, ok := src.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import "fmt"
+
+// Profiles returns every named workload of the evaluation: the 11 SPLASH-2
+// applications run in Section 5.1 (all except Volrend), SPECjbb and
+// SPECweb.
+//
+// Calibration targets, from the paper's own measurements:
+//   - SPLASH-2: read misses that reach the ring usually find a cache
+//     supplier (Figure 11's perfect predictor sees ~4 true negatives per
+//     true positive, i.e. the supplier sits ~5 nodes away), so Lazy snoops
+//     ~4-5 CMPs per request (Figure 6).
+//   - SPECjbb: threads share little; most ring requests find no supplier
+//     and go to memory, so Lazy's snoop count approaches 7 (Figure 6).
+//   - SPECweb: in between, with substantial sharing but also significant
+//     memory traffic.
+func Profiles() []Profile {
+	var all []Profile
+	all = append(all, Splash2Profiles()...)
+	all = append(all, SPECjbbProfile(), SPECwebProfile())
+	return all
+}
+
+// Splash2Profiles returns the 11 SPLASH-2 application profiles.
+func Splash2Profiles() []Profile {
+	return []Profile{
+		{Name: "barnes", Class: Splash2, ComputeMean: 70, StoreFrac: 0.28,
+			PrivateLines: 260, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 700, SharedFrac: 0.203,
+			HotLines: 64, HotFrac: 0.10, MigratorySeq: 3},
+		{Name: "cholesky", Class: Splash2, ComputeMean: 80, StoreFrac: 0.25,
+			PrivateLines: 420, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1000, SharedFrac: 0.162,
+			HotLines: 32, HotFrac: 0.08, MigratorySeq: 2},
+		{Name: "fft", Class: Splash2, ComputeMean: 60, StoreFrac: 0.32,
+			PrivateLines: 1100, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1500, SharedFrac: 0.229,
+			HotLines: 16, HotFrac: 0.04},
+		{Name: "fmm", Class: Splash2, ComputeMean: 90, StoreFrac: 0.24,
+			PrivateLines: 300, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 800, SharedFrac: 0.162,
+			HotLines: 48, HotFrac: 0.10, MigratorySeq: 3},
+		{Name: "lu", Class: Splash2, ComputeMean: 65, StoreFrac: 0.30,
+			PrivateLines: 280, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1100, SharedFrac: 0.203,
+			HotLines: 64, HotFrac: 0.18},
+		{Name: "ocean", Class: Splash2, ComputeMean: 55, StoreFrac: 0.33,
+			PrivateLines: 1300, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1400, SharedFrac: 0.229,
+			HotLines: 32, HotFrac: 0.06},
+		{Name: "radiosity", Class: Splash2, ComputeMean: 85, StoreFrac: 0.26,
+			PrivateLines: 320, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 900, SharedFrac: 0.189,
+			HotLines: 96, HotFrac: 0.16, MigratorySeq: 3},
+		{Name: "radix", Class: Splash2, ComputeMean: 50, StoreFrac: 0.36,
+			PrivateLines: 1150, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1600, SharedFrac: 0.257,
+			HotLines: 16, HotFrac: 0.05},
+		{Name: "raytrace", Class: Splash2, ComputeMean: 95, StoreFrac: 0.12,
+			PrivateLines: 380, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1000, SharedFrac: 0.176,
+			HotLines: 64, HotFrac: 0.12},
+		{Name: "water-ns", Class: Splash2, ComputeMean: 100, StoreFrac: 0.24,
+			PrivateLines: 180, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 650, SharedFrac: 0.135,
+			HotLines: 48, HotFrac: 0.10, MigratorySeq: 4},
+		{Name: "water-sp", Class: Splash2, ComputeMean: 105, StoreFrac: 0.23,
+			PrivateLines: 170, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 600, SharedFrac: 0.121,
+			HotLines: 48, HotFrac: 0.09, MigratorySeq: 4},
+	}
+}
+
+// SPECjbbProfile returns the SPECjbb 2000 profile: a large per-warehouse
+// private working set that overwhelms the L2, and almost no sharing — the
+// paper observes "threads do not share much data, and many requests go to
+// memory".
+func SPECjbbProfile() Profile {
+	return Profile{
+		Name: "specjbb", Class: SPECjbb, ComputeMean: 90, StoreFrac: 0.30,
+		PrivateLines: 40000, PrivateHotLines: 512, PrivateHotFrac: 0.3, SharedLines: 2500, SharedFrac: 0.03,
+		HotLines: 32, HotFrac: 0.20,
+	}
+}
+
+// SPECwebProfile returns the SPECweb 2005 e-commerce profile: moderate
+// sharing (session and cache structures) over a sizeable private set.
+func SPECwebProfile() Profile {
+	return Profile{
+		Name: "specweb", Class: SPECweb, ComputeMean: 80, StoreFrac: 0.25,
+		PrivateLines: 6500, PrivateHotLines: 96, PrivateHotFrac: 0.75, SharedLines: 1200, SharedFrac: 0.108,
+		HotLines: 64, HotFrac: 0.25, MigratorySeq: 2,
+	}
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+}
+
+// ClassProfiles returns the profiles of one reporting class.
+func ClassProfiles(c Class) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Class == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CoresPerCMP returns the per-CMP core count the paper uses for this
+// workload class (Section 5.1: 4 for SPLASH-2, 1 for the SPEC workloads).
+func (c Class) CoresPerCMP() int {
+	if c == Splash2 {
+		return 4
+	}
+	return 1
+}

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flexsnoop/internal/cache"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 13 {
+		t.Fatalf("got %d profiles, want 13 (11 SPLASH-2 + 2 SPEC)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if got := len(Splash2Profiles()); got != 11 {
+		t.Errorf("SPLASH-2 profiles = %d, want 11", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("fft")
+	if err != nil || p.Name != "fft" {
+		t.Errorf("ByName(fft) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("volrend"); err == nil {
+		t.Error("ByName must reject volrend (excluded in Section 5.1)")
+	}
+}
+
+func TestClassPartitions(t *testing.T) {
+	if got := len(ClassProfiles(Splash2)); got != 11 {
+		t.Errorf("SPLASH-2 class has %d profiles, want 11", got)
+	}
+	if got := len(ClassProfiles(SPECjbb)); got != 1 {
+		t.Errorf("SPECjbb class has %d profiles, want 1", got)
+	}
+	if got := len(ClassProfiles(SPECweb)); got != 1 {
+		t.Errorf("SPECweb class has %d profiles, want 1", got)
+	}
+	// Section 5.1: 4 cores/CMP for SPLASH-2, 1 for SPEC.
+	if Splash2.CoresPerCMP() != 4 || SPECjbb.CoresPerCMP() != 1 || SPECweb.CoresPerCMP() != 1 {
+		t.Error("CoresPerCMP does not match Section 5.1")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := ByName("barnes")
+	a := NewGenerator(p, 3, 500, 42)
+	b := NewGenerator(p, 3, 500, 42)
+	for i := 0; i < 500; i++ {
+		opA, okA := a.Next()
+		opB, okB := b.Next()
+		if okA != okB || opA != opB {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, opA, opB)
+		}
+	}
+	if _, ok := a.Next(); ok {
+		t.Error("stream did not end at the requested length")
+	}
+}
+
+func TestGeneratorSeedsAndCoresDiffer(t *testing.T) {
+	p, _ := ByName("fft")
+	same := 0
+	a := NewGenerator(p, 0, 200, 1)
+	b := NewGenerator(p, 1, 200, 1)
+	for i := 0; i < 200; i++ {
+		opA, _ := a.Next()
+		opB, _ := b.Next()
+		if opA.Addr == opB.Addr {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different cores produced %d/200 identical addresses", same)
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	p, _ := ByName("lu")
+	gens := []*Generator{NewGenerator(p, 0, 2000, 5), NewGenerator(p, 1, 2000, 5)}
+	priv := map[int]map[cache.LineAddr]bool{0: {}, 1: {}}
+	for gi, g := range gens {
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			if op.Addr < sharedBase {
+				priv[gi][op.Addr] = true
+			}
+		}
+	}
+	for a := range priv[0] {
+		if priv[1][a] {
+			t.Fatalf("private address %#x produced by both cores", a)
+		}
+	}
+}
+
+func TestSharedFractionRoughlyHonoured(t *testing.T) {
+	p, _ := ByName("radix") // SharedFrac 0.38
+	g := NewGenerator(p, 2, 20000, 9)
+	shared, total := 0, 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		total++
+		if op.Addr >= sharedBase {
+			shared++
+		}
+	}
+	frac := float64(shared) / float64(total)
+	// Migratory bursts shift the exact rate; accept a generous band.
+	if frac < 0.25 || frac < p.SharedFrac*0.5 || frac > p.SharedFrac*1.8 {
+		t.Errorf("shared fraction = %.3f, profile asks %.3f", frac, p.SharedFrac)
+	}
+}
+
+func TestStoreFractionRoughlyHonoured(t *testing.T) {
+	p := SPECjbbProfile() // no migratory bursts: store fraction is direct
+	g := NewGenerator(p, 0, 20000, 3)
+	stores, total := 0, 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		total++
+		if op.Store {
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(total)
+	if frac < p.StoreFrac*0.8 || frac > p.StoreFrac*1.2 {
+		t.Errorf("store fraction = %.3f, profile asks %.3f", frac, p.StoreFrac)
+	}
+}
+
+func TestComputeGapMean(t *testing.T) {
+	p, _ := ByName("water-sp") // ComputeMean 21
+	g := NewGenerator(p, 0, 30000, 17)
+	var sum, n float64
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		sum += float64(op.Compute)
+		n++
+	}
+	mean := sum / n
+	if mean < p.ComputeMean*0.85 || mean > p.ComputeMean*1.15 {
+		t.Errorf("compute mean = %.2f, profile asks %.2f", mean, p.ComputeMean)
+	}
+}
+
+func TestMigratoryBurstsEndWithStore(t *testing.T) {
+	p, _ := ByName("water-ns")
+	g := NewGenerator(p, 1, 50000, 23)
+	// Track consecutive same-address runs in the shared region; every
+	// multi-access run must end with a store (read-modify-write).
+	var prev Op
+	runLen := 0
+	checked := 0
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		if op.Addr == prev.Addr && op.Addr >= sharedBase {
+			runLen++
+		} else {
+			if runLen >= 2 && !prev.Store {
+				t.Fatalf("migratory burst on %#x ended with a load", prev.Addr)
+			}
+			if runLen >= 2 {
+				checked++
+			}
+			runLen = 1
+		}
+		prev = op
+	}
+	if checked == 0 {
+		t.Error("no migratory bursts observed in a migratory profile")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", ComputeMean: -1, PrivateLines: 10},
+		{Name: "b", PrivateLines: 0},
+		{Name: "c", PrivateLines: 10, SharedFrac: 1.5},
+		{Name: "d", PrivateLines: 10, SharedFrac: 0.5, SharedLines: 0},
+		{Name: "e", PrivateLines: 10, StoreFrac: -0.1},
+		{Name: "f", PrivateLines: 10, HotFrac: 0.5, HotLines: 0},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("profile %s accepted despite being invalid", p.Name)
+		}
+	}
+}
+
+func TestSliceSourceReplaysExactly(t *testing.T) {
+	ops := []Op{{Compute: 1, Addr: 5}, {Compute: 2, Addr: 9, Store: true}}
+	s := NewSliceSource(ops)
+	for i, want := range ops {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("op %d: got %+v,%v", i, got, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("slice source did not end")
+	}
+}
+
+// Property: the generator never emits an address outside its declared
+// regions, and always terminates at the requested length.
+func TestPropertyGeneratorBounds(t *testing.T) {
+	prof := SPECwebProfile()
+	f := func(core uint8, seed int64) bool {
+		g := NewGenerator(prof, int(core%32), 300, seed)
+		n := 0
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			n++
+			switch {
+			case op.Addr >= hotBase:
+				if op.Addr-hotBase > spreadMask {
+					return false
+				}
+			case op.Addr >= sharedBase:
+				if op.Addr-sharedBase > spreadMask {
+					return false
+				}
+			default:
+				base := privateStride * cache.LineAddr(int(core%32)+1)
+				if op.Addr < base || op.Addr-base > spreadMask {
+					return false
+				}
+			}
+		}
+		return n == 300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
