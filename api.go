@@ -29,6 +29,7 @@ import (
 	"flexsnoop/internal/config"
 	"flexsnoop/internal/machine"
 	"flexsnoop/internal/sim"
+	"flexsnoop/internal/telemetry"
 	"flexsnoop/internal/trace"
 	"flexsnoop/internal/workload"
 )
@@ -119,10 +120,27 @@ type Options struct {
 	// choose different primitives). Must have one entry per CMP. All
 	// nodes share the predictor configuration of the labelled algorithm.
 	AlgorithmsPerNode []Algorithm
+	// Telemetry, when non-nil and requesting at least one output,
+	// enables the observability layer for this run: per-transaction
+	// event traces (Chrome trace-event JSON for Perfetto, or JSONL) and
+	// interval time-series metrics (CSV, optional SVG chart). Telemetry
+	// never perturbs the simulation: results are cycle-identical with it
+	// on or off.
+	Telemetry *TelemetryOptions
 	// Tweak, when non-nil, receives the machine configuration for
 	// arbitrary adjustments before the run.
 	Tweak func(*MachineConfig)
 }
+
+// TelemetryOptions selects the observability outputs of a run; see
+// internal/telemetry for the field documentation.
+type TelemetryOptions = telemetry.Config
+
+// Trace output formats for TelemetryOptions.TraceFormat.
+const (
+	TraceFormatChrome = telemetry.FormatChrome
+	TraceFormatJSONL  = telemetry.FormatJSONL
+)
 
 // MachineConfig is the full architectural parameter set (Table 4).
 type MachineConfig = config.MachineConfig
@@ -175,6 +193,7 @@ func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experim
 	if opts.WarmupCycles > 0 {
 		exp.WarmupCycles = sim.Time(opts.WarmupCycles)
 	}
+	exp.Telemetry = opts.Telemetry
 	if opts.Tweak != nil {
 		opts.Tweak(&exp.Machine)
 	}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1 gate. Every PR must keep this green.
+#
+#   ./ci.sh        vet + build + full test suite + race-detector pass
+#
+# The race pass re-runs the library and root tests (including the
+# telemetry determinism tests) under -race, catching any data race a
+# future parallel driver or telemetry probe might introduce.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./internal/... .
+
+echo "CI OK"

@@ -6,6 +6,7 @@
 //
 //	paperfigs [-exp all|table1|table3|table4|fig4|fig6|fig7|fig8|fig9|fig10|fig11|summary]
 //	          [-ops N] [-seed N] [-apps a,b,c] [-csv dir] [-svg dir] [-v]
+//	          [-tracedir dir] [-metricsdir dir] [-interval N]
 package main
 
 import (
@@ -28,7 +29,17 @@ var (
 	verbose  = flag.Bool("v", false, "print per-run progress")
 	csvDir   = flag.String("csv", "", "also write <dir>/figN.csv files")
 	svgDir   = flag.String("svg", "", "also write <dir>/figN.svg bar charts")
+
+	// Per-run telemetry for matrix experiments (one file per
+	// algorithm/workload cell; never perturbs the simulations).
+	traceDir   = flag.String("tracedir", "", "write per-run Chrome trace JSON files into this directory")
+	metricsDir = flag.String("metricsdir", "", "write per-run interval metrics CSV files into this directory")
+	interval   = flag.Uint64("interval", 0, "metrics sampling interval in cycles (0 = default 5000)")
 )
+
+// validExps lists every -exp value, in the order run/emit accept them.
+var validExps = []string{"all", "table1", "table3", "table4", "fig4",
+	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "summary"}
 
 func main() {
 	flag.Parse()
@@ -49,14 +60,78 @@ func figOpts() flexsnoop.FigureOptions {
 	return o
 }
 
+// telemetrySink opens per-cell telemetry files for a matrix run and
+// remembers them for closing once the matrix completes.
+type telemetrySink struct {
+	files []*os.File
+}
+
+// forCell implements FigureOptions.TelemetryFor. It is called from the
+// sequential job-creation loop, so appending to s.files needs no lock.
+func (s *telemetrySink) forCell(alg flexsnoop.Algorithm, workload string) *flexsnoop.TelemetryOptions {
+	tel := &flexsnoop.TelemetryOptions{
+		TraceFormat:    flexsnoop.TraceFormatChrome,
+		IntervalCycles: *interval,
+	}
+	open := func(dir, suffix string) *os.File {
+		if dir == "" {
+			return nil
+		}
+		path := fmt.Sprintf("%s/%s_%s%s", dir, strings.ToLower(alg.String()), workload, suffix)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs: telemetry:", err)
+			return nil
+		}
+		s.files = append(s.files, f)
+		return f
+	}
+	if f := open(*traceDir, ".trace.json"); f != nil {
+		tel.Trace = f
+	}
+	if f := open(*metricsDir, ".metrics.csv"); f != nil {
+		tel.Metrics = f
+	}
+	if !tel.Enabled() {
+		return nil
+	}
+	return tel
+}
+
+func (s *telemetrySink) close() {
+	for _, f := range s.files {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs: telemetry:", err)
+		}
+	}
+	s.files = nil
+}
+
 func run(exp string) error {
+	valid := false
+	for _, e := range validExps {
+		if exp == e {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExps, ", "))
+	}
+
 	needMatrix := map[string]bool{"all": true, "fig4": true, "fig6": true,
 		"fig7": true, "fig8": true, "fig9": true, "table3": true, "summary": true}
 	var m *flexsnoop.Matrix
 	if needMatrix[exp] {
+		o := figOpts()
+		var sink telemetrySink
+		if *traceDir != "" || *metricsDir != "" {
+			o.TelemetryFor = sink.forCell
+		}
 		var err error
 		fmt.Fprintln(os.Stderr, "running algorithm x workload matrix...")
-		m, err = flexsnoop.RunMatrix(figOpts())
+		m, err = flexsnoop.RunMatrix(o)
+		sink.close()
 		if err != nil {
 			return err
 		}

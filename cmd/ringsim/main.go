@@ -6,14 +6,20 @@
 //
 //	ringsim [-alg SupersetAgg] [-workload barnes] [-ops 3000] [-seed 1]
 //	        [-predictor Sub2k|Supy2k|...] [-rings 2] [-noprefetch]
-//	        [-check] [-trace file]
+//	        [-check] [-replay file]
+//	        [-trace out.json] [-traceformat chrome|jsonl] [-tracehops]
+//	        [-metrics out.csv] [-interval N] [-chart out.svg]
+//	        [-cpuprofile out.pprof] [-memprofile out.pprof]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"flexsnoop"
 	"flexsnoop/internal/energy"
@@ -33,10 +39,22 @@ var (
 	ringsFlag  = flag.Int("rings", 0, "number of embedded rings (0 = default 2)")
 	noPrefetch = flag.Bool("noprefetch", false, "disable the prefetch-on-snoop heuristic")
 	checkFlag  = flag.Bool("check", false, "run the coherence invariant checker")
-	traceFlag  = flag.String("trace", "", "replay a trace file instead of a synthetic workload")
+	replayFlag = flag.String("replay", "", "replay a trace file instead of a synthetic workload")
 	budgetFlag = flag.Float64("budget", 0, "DynamicSuperset energy budget (nJ per 1000 cycles)")
 	listFlag   = flag.Bool("list", false, "list workloads and predictors, then exit")
 	jsonFlag   = flag.Bool("json", false, "emit the result as JSON instead of a table")
+
+	// Telemetry outputs (the run is cycle-identical with or without them).
+	traceOut   = flag.String("trace", "", "write a per-transaction event trace to this file")
+	traceFmt   = flag.String("traceformat", "chrome", "trace format: chrome (Perfetto-loadable) or jsonl")
+	traceHops  = flag.Bool("tracehops", false, "include per-ring-hop instants in the trace (verbose)")
+	metricsOut = flag.String("metrics", "", "write interval time-series metrics CSV to this file")
+	interval   = flag.Uint64("interval", 0, "metrics sampling interval in cycles (0 = default 5000)")
+	chartOut   = flag.String("chart", "", "write an SVG chart of the interval metrics to this file")
+
+	// Profiling of the simulator itself.
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile of the simulator to this file")
 )
 
 func main() {
@@ -63,6 +81,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opts := flexsnoop.Options{
 		OpsPerCore:                *opsFlag,
 		Seed:                      *seedFlag,
@@ -78,21 +107,94 @@ func run() error {
 		}
 		opts.Predictor = &p
 	}
+	tel, closeTel, err := telemetryFromFlags()
+	if err != nil {
+		closeTel()
+		return err
+	}
+	opts.Telemetry = tel
 
 	var res flexsnoop.Result
-	if *traceFlag != "" {
-		res, err = flexsnoop.RunTraceFile(alg, *traceFlag, opts)
+	if *replayFlag != "" {
+		res, err = flexsnoop.RunTraceFile(alg, *replayFlag, opts)
 	} else {
 		res, err = flexsnoop.Run(alg, *wlFlag, opts)
 	}
+	if cerr := closeTel(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	if *jsonFlag {
 		return printJSON(res)
 	}
 	print(res)
 	return nil
+}
+
+// telemetryFromFlags builds the telemetry configuration from the -trace,
+// -metrics, -interval and -chart flags, returning nil options when no
+// output is requested. The returned func closes every opened file.
+func telemetryFromFlags() (*flexsnoop.TelemetryOptions, func() error, error) {
+	noop := func() error { return nil }
+	if *traceOut == "" && *metricsOut == "" && *chartOut == "" {
+		return nil, noop, nil
+	}
+	switch *traceFmt {
+	case flexsnoop.TraceFormatChrome, flexsnoop.TraceFormatJSONL:
+	default:
+		return nil, noop, fmt.Errorf("unknown -traceformat %q (want %s or %s)",
+			*traceFmt, flexsnoop.TraceFormatChrome, flexsnoop.TraceFormatJSONL)
+	}
+	tel := &flexsnoop.TelemetryOptions{
+		TraceFormat:    *traceFmt,
+		TraceHops:      *traceHops,
+		IntervalCycles: *interval,
+	}
+	var files []*os.File
+	open := func(path string, dst *io.Writer) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		*dst = f
+		return nil
+	}
+	closeAll := func() error {
+		var err error
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	if err := open(*traceOut, &tel.Trace); err != nil {
+		return nil, closeAll, err
+	}
+	if err := open(*metricsOut, &tel.Metrics); err != nil {
+		return nil, closeAll, err
+	}
+	if err := open(*chartOut, &tel.Chart); err != nil {
+		return nil, closeAll, err
+	}
+	return tel, closeAll, nil
 }
 
 // jsonReport is the machine-readable result shape.

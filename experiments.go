@@ -1,6 +1,7 @@
 package flexsnoop
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,11 @@ type FigureOptions struct {
 	// Progress, when non-nil, receives a line per completed run; it may
 	// be called from multiple goroutines.
 	Progress func(string)
+	// TelemetryFor, when non-nil, is consulted once per (algorithm,
+	// workload) cell of a matrix run; a non-nil return enables telemetry
+	// for that cell's simulation. It is called sequentially while jobs
+	// are being created, so it may open files without synchronisation.
+	TelemetryFor func(alg Algorithm, workload string) *TelemetryOptions
 }
 
 func (o FigureOptions) withDefaults() FigureOptions {
@@ -50,8 +56,9 @@ func (o FigureOptions) withDefaults() FigureOptions {
 	return o
 }
 
-// runPool executes independent simulation jobs with bounded parallelism,
-// collecting the first error.
+// runPool executes independent simulation jobs with bounded parallelism.
+// After the first failure no further jobs are launched (already-running
+// jobs finish); every failure is reported, joined with errors.Join.
 func runPool(parallelism int, jobs []func() error) error {
 	if parallelism < 1 {
 		parallelism = 1
@@ -59,25 +66,35 @@ func runPool(parallelism int, jobs []func() error) error {
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var firstErr error
+	var errs []error
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(errs) > 0
+	}
 	for _, job := range jobs {
+		// Acquire the semaphore before deciding to stop: any failure
+		// recorded while we waited is then guaranteed visible, so at
+		// most parallelism-1 extra jobs start after the first error.
+		sem <- struct{}{}
+		if failed() {
+			<-sem
+			break
+		}
 		job := job
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			if err := job(); err != nil {
 				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
+				errs = append(errs, err)
 				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return errors.Join(errs...)
 }
 
 func (o FigureOptions) splashProfiles() ([]Profile, error) {
@@ -135,8 +152,12 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 		m.results[alg] = map[string]Result{}
 		for _, prof := range profiles {
 			alg, prof := alg, prof
+			var tel *TelemetryOptions
+			if o.TelemetryFor != nil {
+				tel = o.TelemetryFor(alg, prof.Name)
+			}
 			jobs = append(jobs, func() error {
-				res, err := RunProfile(alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed})
+				res, err := RunProfile(alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel})
 				if err != nil {
 					return fmt.Errorf("flexsnoop: %v on %s: %w", alg, prof.Name, err)
 				}

@@ -14,6 +14,7 @@ import (
 	"flexsnoop/internal/energy"
 	"flexsnoop/internal/protocol"
 	"flexsnoop/internal/sim"
+	"flexsnoop/internal/telemetry"
 	"flexsnoop/internal/workload"
 )
 
@@ -68,6 +69,11 @@ type Experiment struct {
 	// this cycle: the reported Result covers only the steady-state
 	// measurement window (caches and predictors stay warm).
 	WarmupCycles sim.Time
+
+	// Telemetry, when enabled, records transaction traces and interval
+	// metrics for the run. Telemetry never perturbs simulated timing:
+	// results are identical with it on or off.
+	Telemetry *telemetry.Config
 }
 
 // New returns an experiment with Table 4 defaults for an algorithm and
@@ -154,6 +160,18 @@ func Run(exp Experiment) (Result, error) {
 		eng.SetInvariantChecker(64, func() error { return checker.Check(eng) })
 	}
 
+	var col *telemetry.Collector
+	if exp.Telemetry.Enabled() {
+		col = telemetry.New(*exp.Telemetry)
+		eng.SetTelemetry(col)
+		col.InstallKernelProbe(kern, func() telemetry.Sample {
+			s := eng.TelemetrySample()
+			s.EventsExecuted = kern.Executed
+			s.QueueDepth = kern.Pending()
+			return s
+		})
+	}
+
 	totalCores := exp.Machine.TotalCores()
 	cores := make([]*cpu.Core, 0, totalCores)
 	remaining := totalCores
@@ -203,6 +221,9 @@ func Run(exp Experiment) (Result, error) {
 		max = 2_000_000_000
 	}
 	kern.Run(max)
+	if err := col.Close(kern.Now()); err != nil {
+		return Result{}, fmt.Errorf("machine: %w", err)
+	}
 	if remaining != 0 {
 		return Result{}, fmt.Errorf("machine: %d cores unfinished at cycle limit %d", remaining, max)
 	}

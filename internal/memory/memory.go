@@ -132,6 +132,10 @@ func (c *Controller) ReadLatency(now sim.Time, addr cache.LineAddr, requester in
 // QueueCycles reports total cycles accesses waited for the DRAM channel.
 func (c *Controller) QueueCycles() uint64 { return c.channel.WaitCycles }
 
+// BusyCycles reports total cycles the DRAM channel was reserved — the
+// numerator of this controller's occupancy fraction over a window.
+func (c *Controller) BusyCycles() uint64 { return c.channel.BusyCycles }
+
 // MarkShared sets the line's masterless-sharers bit: memory may not grant
 // Exclusive until a write's invalidation sweep clears it.
 func (c *Controller) MarkShared(addr cache.LineAddr) { c.sharedMark[addr] = true }

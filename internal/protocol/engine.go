@@ -18,6 +18,7 @@ import (
 	"flexsnoop/internal/predictor"
 	"flexsnoop/internal/ring"
 	"flexsnoop/internal/sim"
+	"flexsnoop/internal/telemetry"
 )
 
 // AccessKind is a processor-side memory reference type.
@@ -65,6 +66,56 @@ type Engine struct {
 	// data generation it bound (tests use it to verify per-core
 	// monotonicity of observed versions).
 	observer func(node, core int, write bool, addr cache.LineAddr, version uint64)
+
+	// tel, when non-nil, receives transaction lifecycle events and
+	// serves interval samples (the telemetry layer). Every emit site
+	// guards with a nil check, so the disabled cost is one comparison.
+	tel *telemetry.Collector
+}
+
+// SetTelemetry installs the run's telemetry collector and, when link-hop
+// tracing is requested, the per-ring send probes.
+func (e *Engine) SetTelemetry(c *telemetry.Collector) {
+	e.tel = c
+	if c == nil || !c.TraceHops() {
+		return
+	}
+	for ri, r := range e.rings {
+		ri, r := ri, r
+		r.OnSend = func(depart, arrive sim.Time, from int, m *ring.Message) {
+			c.RingHop(depart, ri, from, r.Next(from), uint64(m.Txn))
+		}
+	}
+}
+
+// TelemetrySample snapshots the cumulative counters the interval sampler
+// differences: ring/bus/DRAM busy cycles, request and squash counts,
+// outstanding transactions, predictor accuracy and energy.
+func (e *Engine) TelemetrySample() telemetry.Sample {
+	s := telemetry.Sample{
+		OutstandingTxns: len(e.byID),
+		ReadRequests:    e.stats.ReadRequests,
+		WriteRequests:   e.stats.WriteRequests,
+		SnoopOps:        e.stats.ReadSnoopOps + e.stats.WriteSnoopOps,
+		Squashes:        e.stats.Squashes,
+		Retries:         e.stats.Retries,
+		PredTP:          e.stats.Accuracy.TruePos,
+		PredTN:          e.stats.Accuracy.TrueNeg,
+		PredFP:          e.stats.Accuracy.FalsePos,
+		PredFN:          e.stats.Accuracy.FalseNeg,
+		EnergyNJ:        e.meter.TotalNJ(),
+	}
+	for _, r := range e.rings {
+		s.RingBusyCycles += r.BusyCycles()
+		s.RingLinks += r.Nodes()
+	}
+	for _, n := range e.nodes {
+		s.BusBusyCycles += n.cmpBus.BusyCycles
+		s.Buses++
+		s.DRAMBusyCycles += n.mem.BusyCycles()
+		s.DRAMChannels++
+	}
+	return s
 }
 
 // SetObserver installs a reference observer (testing hook).

@@ -294,6 +294,9 @@ func (e *Engine) snoopOutcome(ringIdx, nodeID int, m *ring.Message, st *ringStat
 	n := e.nodes[nodeID]
 	st.outcomeReady = true
 	st.localMask = uint64(1) << uint(nodeID)
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(m.Txn), "snoop", nodeID)
+	}
 
 	if m.Kind == ring.ReadSnoop {
 		supCore, hasSup := n.supplierIdx[m.Addr]
@@ -345,6 +348,9 @@ func (e *Engine) snoopOutcome(ringIdx, nodeID int, m *ring.Message, st *ringStat
 
 // sendData transfers the line to the requester over the torus.
 func (e *Engine) sendData(nodeID int, m *ring.Message, version uint64, ownership bool) {
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(m.Txn), "supply", nodeID)
+	}
 	lat := e.torus.Latency(e.now(), nodeID, m.Requester)
 	txn := m.Txn
 	e.kern.After(lat, func() { e.deliverData(txn, version, ownership) })
@@ -573,6 +579,9 @@ func (e *Engine) handleCollision(ringIdx, nodeID int, m *ring.Message) (blocked 
 	}
 	m.Squashed = true
 	e.stats.Squashes++
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(m.Txn), "squash", nodeID)
+	}
 	return false
 }
 

@@ -111,6 +111,9 @@ func (e *Engine) launch(t *txn) {
 	e.byID[t.id] = t
 	n.outstanding[t.addr] = t
 	n.activeTxns++
+	if e.tel != nil {
+		e.tel.TxnIssue(e.now(), uint64(t.id), t.kind.String(), uint64(t.addr), t.node, t.core, t.retries)
+	}
 
 	if t.kind == ring.ReadSnoop {
 		e.stats.ReadRequests++
@@ -170,6 +173,9 @@ func (e *Engine) squashLocal(t *txn) {
 	e.lineTrace(t.addr, "squashLocal txn %d (n%d %v)", t.id, t.node, t.kind)
 	t.squashed = true
 	e.stats.Squashes++
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(t.id), "squash", t.node)
+	}
 }
 
 // consumeReturn processes a message that has circled back to its
@@ -314,6 +320,9 @@ func (e *Engine) scheduleRetry(t *txn) {
 		age: t.age, done: t.done, waiters: t.waiters, retries: t.retries + 1,
 	}
 	t.waiters = nil
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(t.id), "retry", t.node)
+	}
 	e.retire(t)
 	e.stats.Retries++
 	mult := retry.retries
@@ -334,6 +343,9 @@ func (e *Engine) deliverData(txnID ring.TxnID, version uint64, dirty bool) {
 	t.dataVersion = version
 	t.dataDirty = dirty
 	e.lineTrace(t.addr, "dataArrive txn %d (n%d %v) v%d dirty=%v squashed=%v", t.id, t.node, t.kind, version, dirty, t.squashed)
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(t.id), "data", t.node)
+	}
 	if t.squashed {
 		if t.replyReturned {
 			e.finishSquashed(t)
@@ -407,6 +419,9 @@ func (e *Engine) installWrite(t *txn) {
 // startMemoryRead begins the memory phase after a negative ring reply.
 func (e *Engine) startMemoryRead(t *txn) {
 	t.memPhase = true
+	if e.tel != nil {
+		e.tel.TxnEvent(e.now(), uint64(t.id), "memread", e.homeOf(t.addr))
+	}
 	home := e.nodes[e.homeOf(t.addr)]
 	rt := home.mem.ReadLatency(e.now(), t.addr, t.node)
 	if e.downgraded[t.addr] {
@@ -487,6 +502,9 @@ func (e *Engine) retire(t *txn) {
 		return
 	}
 	t.retired = true
+	if e.tel != nil {
+		e.tel.TxnComplete(e.now(), uint64(t.id))
+	}
 	n := e.nodes[t.node]
 	delete(e.byID, t.id)
 	if n.outstanding[t.addr] == t {

@@ -122,6 +122,12 @@ type Ring struct {
 	links        []bus.Bus // links[i]: i -> (i+1)%n
 	Transmitted  uint64    // message-segment transmissions (Figure 7 metric)
 	ReadSegments uint64    // subset of Transmitted for read snoops
+
+	// OnSend, when non-nil, observes every message-segment transmission
+	// (the telemetry layer's link probe): the segment departs node from
+	// at depart and arrives at the successor at arrive. The nil check is
+	// the only cost when telemetry is disabled.
+	OnSend func(depart, arrive sim.Time, from int, m *Message)
 }
 
 // NewRing builds a ring over n nodes with the given link latency and
@@ -161,7 +167,21 @@ func (r *Ring) Send(now sim.Time, from int, m *Message) (arrive sim.Time) {
 	if m.Kind == ReadSnoop {
 		r.ReadSegments++
 	}
-	return start + r.linkCycles
+	arrive = start + r.linkCycles
+	if r.OnSend != nil {
+		r.OnSend(start, arrive, from, m)
+	}
+	return arrive
+}
+
+// BusyCycles returns total link-occupancy cycles reserved across all
+// links — the numerator of the ring's occupancy fraction over a window.
+func (r *Ring) BusyCycles() uint64 {
+	var t uint64
+	for i := range r.links {
+		t += r.links[i].BusyCycles
+	}
+	return t
 }
 
 // LinkWaits returns total cycles messages spent waiting for busy links.

@@ -76,6 +76,15 @@ type Kernel struct {
 
 	// Executed counts events that have run to completion.
 	Executed uint64
+
+	// MaxPending is the event queue's high-water mark.
+	MaxPending int
+
+	// Probe, when non-nil, observes the kernel after every executed
+	// event — the telemetry layer's hook for interval sampling. A nil
+	// check per event is the only cost when telemetry is disabled. The
+	// probe must not schedule events or otherwise perturb the run.
+	Probe func(now Time)
 }
 
 // NewKernel returns an empty kernel at cycle zero.
@@ -98,6 +107,9 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 	e := &Event{when: at, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if len(k.queue) > k.MaxPending {
+		k.MaxPending = len(k.queue)
+	}
 	return e
 }
 
@@ -135,6 +147,9 @@ func (k *Kernel) Step() bool {
 		k.now = e.when
 		e.fn()
 		k.Executed++
+		if k.Probe != nil {
+			k.Probe(k.now)
+		}
 		return true
 	}
 	return false

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVGLineChart renders one or more (x, y) series as a standalone SVG
+// line chart — the time-series companion to SVGBarChart, used by the
+// telemetry layer's interval metrics.
+type SVGLineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+
+	// Width and Height of the drawing in pixels (defaults 720x360).
+	Width, Height int
+
+	series []string
+	points map[string][][2]float64 // series -> ordered (x, y)
+}
+
+// NewSVGLineChart creates an empty chart.
+func NewSVGLineChart(title, xlabel, ylabel string) *SVGLineChart {
+	return &SVGLineChart{
+		Title: title, XLabel: xlabel, YLabel: ylabel,
+		Width: 720, Height: 360,
+		points: map[string][][2]float64{},
+	}
+}
+
+// Add appends one point to a series. Series appear in first-Add order;
+// points are drawn in insertion order.
+func (c *SVGLineChart) Add(series string, x, y float64) {
+	if _, ok := c.points[series]; !ok {
+		c.series = append(c.series, series)
+	}
+	c.points[series] = append(c.points[series], [2]float64{x, y})
+}
+
+// String renders the SVG document.
+func (c *SVGLineChart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 360
+	}
+	const (
+		marginL = 56
+		marginR = 16
+		marginT = 40
+		marginB = 64
+	)
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+
+	xMin, xMax, yMax := 0.0, 0.0, 0.0
+	firstPt := true
+	for _, s := range c.series {
+		for _, p := range c.points[s] {
+			if firstPt || p[0] < xMin {
+				xMin = p[0]
+			}
+			if firstPt || p[0] > xMax {
+				xMax = p[0]
+			}
+			if p[1] > yMax {
+				yMax = p[1]
+			}
+			firstPt = false
+		}
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	yMax *= 1.1
+
+	px := func(x float64) float64 {
+		return float64(marginL) + (x-xMin)/(xMax-xMin)*float64(plotW)
+	}
+	py := func(y float64) float64 {
+		return float64(marginT+plotH) - y/yMax*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, svgEscape(c.Title))
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, svgEscape(c.YLabel))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, marginT+plotH+32, svgEscape(c.XLabel))
+	}
+
+	// Gridlines with y ticks and x-range ticks.
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		y := marginT + plotH - int(float64(plotH)*float64(i)/5)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.2f</text>`+"\n", marginL-6, y+3, v)
+	}
+	for i := 0; i <= 4; i++ {
+		v := xMin + (xMax-xMin)*float64(i)/4
+		x := marginL + int(float64(plotW)*float64(i)/4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="middle">%.4g</text>`+"\n", x, marginT+plotH+16, v)
+	}
+
+	// Series polylines.
+	for si, s := range c.series {
+		pts := c.points[s]
+		if len(pts) == 0 {
+			continue
+		}
+		var pb strings.Builder
+		for _, p := range pts {
+			fmt.Fprintf(&pb, "%.1f,%.1f ", px(p[0]), py(p[1]))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			svgPalette[si%len(svgPalette)], strings.TrimSpace(pb.String()))
+	}
+
+	// Legend along the bottom.
+	lx := marginL
+	ly := h - 8
+	for si, s := range c.series {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="3" fill="%s"/>`+"\n", lx, ly-6, svgPalette[si%len(svgPalette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%s</text>`+"\n", lx+14, ly, svgEscape(s))
+		lx += 14 + 7*len(s) + 16
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"flexsnoop/internal/stats"
+)
+
+// row is one emitted interval of the time-series.
+type row struct {
+	Cycle uint64 // end of the interval
+	// Per-interval deltas.
+	Events   uint64
+	Reads    uint64
+	Writes   uint64
+	SnoopOps uint64
+	Squashes uint64
+	Retries  uint64
+	EnergyNJ float64
+	// Instantaneous gauges at the boundary.
+	Outstanding int
+	QueueDepth  int
+	// Derived occupancy fractions (reserved cycles per resource-cycle in
+	// the interval; can transiently exceed 1 because reservations book
+	// their full duration up front).
+	RingOcc float64
+	BusOcc  float64
+	DRAMOcc float64
+	// SquashRate is squashes per ring request issued this interval.
+	SquashRate float64
+	// Predictor accuracy fractions over this interval's classifications.
+	TP, FP, FN float64
+}
+
+// sampler turns cumulative Sample snapshots into interval rows. It is
+// driven by the kernel probe: observe runs after every executed event
+// and emits a row each time simulated time crosses an interval boundary.
+type sampler struct {
+	interval uint64
+	snapshot func() Sample
+
+	last      Sample
+	lastCycle uint64
+	next      uint64
+	rows      []row
+}
+
+func newSampler(interval uint64) *sampler {
+	return &sampler{interval: interval}
+}
+
+// arm installs the snapshot source and takes the cycle-zero baseline.
+func (s *sampler) arm(snapshot func() Sample) {
+	s.snapshot = snapshot
+	s.last = snapshot()
+	s.next = s.interval
+}
+
+// observe emits rows for every interval boundary now has crossed. Long
+// event gaps emit one row per crossed boundary (the later ones all-zero),
+// keeping the time axis uniform.
+func (s *sampler) observe(now uint64) {
+	if s.snapshot == nil {
+		return
+	}
+	for now >= s.next {
+		s.emit(s.next)
+		s.next += s.interval
+	}
+}
+
+// finish emits the final partial interval at the run's last cycle.
+func (s *sampler) finish(final uint64) {
+	if s.snapshot == nil {
+		return
+	}
+	s.observe(final)
+	if final > s.lastCycle {
+		s.emit(final)
+	}
+}
+
+// emit appends the row covering (lastCycle, boundary].
+func (s *sampler) emit(boundary uint64) {
+	cur := s.snapshot()
+	dt := boundary - s.lastCycle
+	r := row{
+		Cycle:       boundary,
+		Events:      cur.EventsExecuted - s.last.EventsExecuted,
+		Reads:       cur.ReadRequests - s.last.ReadRequests,
+		Writes:      cur.WriteRequests - s.last.WriteRequests,
+		SnoopOps:    cur.SnoopOps - s.last.SnoopOps,
+		Squashes:    cur.Squashes - s.last.Squashes,
+		Retries:     cur.Retries - s.last.Retries,
+		EnergyNJ:    cur.EnergyNJ - s.last.EnergyNJ,
+		Outstanding: cur.OutstandingTxns,
+		QueueDepth:  cur.QueueDepth,
+	}
+	if dt > 0 {
+		r.RingOcc = occupancy(cur.RingBusyCycles-s.last.RingBusyCycles, cur.RingLinks, dt)
+		r.BusOcc = occupancy(cur.BusBusyCycles-s.last.BusBusyCycles, cur.Buses, dt)
+		r.DRAMOcc = occupancy(cur.DRAMBusyCycles-s.last.DRAMBusyCycles, cur.DRAMChannels, dt)
+	}
+	if reqs := r.Reads + r.Writes; reqs > 0 {
+		r.SquashRate = float64(r.Squashes) / float64(reqs)
+	}
+	dTP := cur.PredTP - s.last.PredTP
+	dTN := cur.PredTN - s.last.PredTN
+	dFP := cur.PredFP - s.last.PredFP
+	dFN := cur.PredFN - s.last.PredFN
+	if total := dTP + dTN + dFP + dFN; total > 0 {
+		r.TP = float64(dTP) / float64(total)
+		r.FP = float64(dFP) / float64(total)
+		r.FN = float64(dFN) / float64(total)
+	}
+	s.rows = append(s.rows, r)
+	s.last = cur
+	s.lastCycle = boundary
+}
+
+func occupancy(busy uint64, resources int, dt uint64) float64 {
+	if resources <= 0 {
+		return 0
+	}
+	return float64(busy) / (float64(resources) * float64(dt))
+}
+
+// csvHeader lists the metrics CSV columns, one row per interval.
+const csvHeader = "cycle,events,outstanding_txns,queue_depth," +
+	"ring_occupancy,bus_occupancy,dram_occupancy," +
+	"read_reqs,write_reqs,snoop_ops,squashes,retries,squash_rate," +
+	"pred_tp,pred_fp,pred_fn,energy_nj"
+
+// csv renders the time-series.
+func (s *sampler) csv() string {
+	var b strings.Builder
+	b.WriteString(csvHeader + "\n")
+	for _, r := range s.rows {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%.6g,%.6g,%.6g,%d,%d,%d,%d,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+			r.Cycle, r.Events, r.Outstanding, r.QueueDepth,
+			r.RingOcc, r.BusOcc, r.DRAMOcc,
+			r.Reads, r.Writes, r.SnoopOps, r.Squashes, r.Retries, r.SquashRate,
+			r.TP, r.FP, r.FN, r.EnergyNJ)
+	}
+	return b.String()
+}
+
+// chartSVG renders the occupancy and squash-rate series as a line chart.
+func (s *sampler) chartSVG() string {
+	c := stats.NewSVGLineChart("Interval telemetry", "cycle", "fraction")
+	for _, r := range s.rows {
+		x := float64(r.Cycle)
+		c.Add("ring occupancy", x, r.RingOcc)
+		c.Add("bus occupancy", x, r.BusOcc)
+		c.Add("dram occupancy", x, r.DRAMOcc)
+		c.Add("squash rate", x, r.SquashRate)
+	}
+	return c.String()
+}

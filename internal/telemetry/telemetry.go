@@ -1,0 +1,256 @@
+// Package telemetry is the simulator's observability layer: structured
+// per-transaction event tracing, interval time-series metrics, and the
+// probe hooks the rest of the stack reports into.
+//
+// The layer is built for two properties:
+//
+//   - Zero perturbation. Probes never schedule kernel events, reserve
+//     buses or touch protocol state, so a run with telemetry enabled is
+//     cycle-for-cycle identical to the same run without it. The interval
+//     sampler piggybacks on the kernel's per-event probe instead of
+//     injecting its own ticker events.
+//
+//   - Near-zero cost when disabled. Every hook is a nil func or nil
+//     pointer check at the call site; no allocation, no formatting.
+//
+// Two exports are produced. The tracer records each coherence
+// transaction's lifecycle (issue → snoops → supply/squash/retry →
+// data → completion) and writes either Chrome trace-event JSON — load
+// it in Perfetto (https://ui.perfetto.dev) or chrome://tracing — or a
+// JSONL stream for ad-hoc processing. The sampler snapshots cumulative
+// resource counters every IntervalCycles and emits per-interval
+// ring/bus/DRAM occupancy, outstanding transactions, squash rate and
+// predictor accuracy as CSV, optionally rendered as an SVG line chart.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"flexsnoop/internal/sim"
+)
+
+// Trace output formats.
+const (
+	// FormatChrome is the Chrome trace-event JSON object format
+	// ({"traceEvents": [...]}), loadable in Perfetto.
+	FormatChrome = "chrome"
+	// FormatJSONL is one JSON object per line, one line per event.
+	FormatJSONL = "jsonl"
+)
+
+// DefaultIntervalCycles is the sampling period when Config leaves
+// IntervalCycles zero.
+const DefaultIntervalCycles = 5000
+
+// Config selects the telemetry outputs for one run. The zero value (and
+// a nil *Config) disables everything.
+type Config struct {
+	// Trace receives the transaction event stream; nil disables tracing.
+	Trace io.Writer
+	// TraceFormat is FormatChrome (the default) or FormatJSONL.
+	TraceFormat string
+	// TraceHops additionally records every ring link-segment
+	// transmission as a trace event. Off by default: hops multiply the
+	// event volume by roughly the ring size.
+	TraceHops bool
+
+	// Metrics receives the interval time-series as CSV; nil disables
+	// sampling (unless Chart is set).
+	Metrics io.Writer
+	// IntervalCycles is the sampling period (default
+	// DefaultIntervalCycles).
+	IntervalCycles uint64
+	// Chart receives an SVG line chart of the sampled occupancies and
+	// rates; nil disables it.
+	Chart io.Writer
+}
+
+// Enabled reports whether any output is requested.
+func (c *Config) Enabled() bool {
+	return c != nil && (c.Trace != nil || c.Metrics != nil || c.Chart != nil)
+}
+
+// Collector is one run's telemetry sink. All probe methods are safe on a
+// nil receiver, so instrumented code may call them unconditionally; the
+// simulator's hot paths additionally guard with their own nil checks.
+//
+// A Collector is single-run and single-goroutine, like the simulation
+// kernel it observes.
+type Collector struct {
+	cfg     Config
+	tracer  *tracer
+	sampler *sampler
+}
+
+// New builds a collector for a configuration. It returns nil when the
+// configuration requests no output, so callers can wire the result
+// directly into the nil-checked probe fields.
+func New(cfg Config) *Collector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.IntervalCycles == 0 {
+		cfg.IntervalCycles = DefaultIntervalCycles
+	}
+	if cfg.TraceFormat == "" {
+		cfg.TraceFormat = FormatChrome
+	}
+	c := &Collector{cfg: cfg}
+	if cfg.Trace != nil {
+		c.tracer = newTracer(cfg.TraceHops)
+	}
+	if cfg.Metrics != nil || cfg.Chart != nil {
+		c.sampler = newSampler(cfg.IntervalCycles)
+	}
+	return c
+}
+
+// TraceHops reports whether link-hop tracing is requested (the engine
+// only installs ring probes when it is).
+func (c *Collector) TraceHops() bool { return c != nil && c.tracer != nil && c.cfg.TraceHops }
+
+// Tracing reports whether transaction events are being recorded.
+func (c *Collector) Tracing() bool { return c != nil && c.tracer != nil }
+
+// --- Transaction lifecycle probes (tracer) ---
+
+// TxnIssue records a transaction entering the ring. kind is "read" or
+// "write"; retries counts earlier squashed attempts of the same access.
+func (c *Collector) TxnIssue(now sim.Time, txn uint64, kind string, addr uint64, node, core, retries int) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.issue(uint64(now), txn, kind, addr, node, core, retries)
+}
+
+// TxnEvent records a lifecycle point of an in-flight transaction at a
+// node: "snoop", "supply", "squash", "retry", "memread", "data".
+func (c *Collector) TxnEvent(now sim.Time, txn uint64, event string, node int) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.point(uint64(now), txn, event, node)
+}
+
+// TxnComplete records a transaction retiring.
+func (c *Collector) TxnComplete(now sim.Time, txn uint64) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.complete(uint64(now), txn)
+}
+
+// RingHop records one link-segment transmission (TraceHops only).
+func (c *Collector) RingHop(depart sim.Time, ringIdx, from, to int, txn uint64) {
+	if c == nil || c.tracer == nil || !c.cfg.TraceHops {
+		return
+	}
+	c.tracer.hop(uint64(depart), txn, ringIdx, from, to)
+}
+
+// --- Interval sampling ---
+
+// Sample is a cumulative snapshot of the machine's counters, taken at
+// interval boundaries. The sampler differences consecutive snapshots to
+// produce per-interval rates and occupancies.
+type Sample struct {
+	// Kernel.
+	EventsExecuted uint64
+	QueueDepth     int
+
+	// Protocol.
+	OutstandingTxns int
+	ReadRequests    uint64
+	WriteRequests   uint64
+	SnoopOps        uint64
+	Squashes        uint64
+	Retries         uint64
+
+	// Resources: total reserved-busy cycles and resource counts, so the
+	// sampler can turn deltas into per-resource occupancy fractions.
+	RingBusyCycles uint64
+	RingLinks      int
+	BusBusyCycles  uint64
+	Buses          int
+	DRAMBusyCycles uint64
+	DRAMChannels   int
+
+	// Supplier-predictor accuracy (cumulative classification counts).
+	PredTP, PredTN, PredFP, PredFN uint64
+
+	// Snoop-servicing energy so far.
+	EnergyNJ float64
+}
+
+// InstallKernelProbe arms interval sampling: snapshot() is called at
+// every IntervalCycles boundary the simulation crosses (and once more at
+// Close). It chains onto any probe already installed on the kernel.
+// No-op without a sampler.
+func (c *Collector) InstallKernelProbe(kern *sim.Kernel, snapshot func() Sample) {
+	if c == nil || c.sampler == nil {
+		return
+	}
+	c.sampler.arm(snapshot)
+	prev := kern.Probe
+	kern.Probe = func(now sim.Time) {
+		if prev != nil {
+			prev(now)
+		}
+		c.sampler.observe(uint64(now))
+	}
+}
+
+// Close takes the final partial sample at the run's last cycle and
+// writes every configured output. It must be called exactly once, after
+// the kernel drains.
+func (c *Collector) Close(final sim.Time) error {
+	if c == nil {
+		return nil
+	}
+	if c.sampler != nil {
+		c.sampler.finish(uint64(final))
+		if c.cfg.Metrics != nil {
+			if _, err := io.WriteString(c.cfg.Metrics, c.sampler.csv()); err != nil {
+				return fmt.Errorf("telemetry: metrics: %w", err)
+			}
+		}
+		if c.cfg.Chart != nil {
+			if _, err := io.WriteString(c.cfg.Chart, c.sampler.chartSVG()); err != nil {
+				return fmt.Errorf("telemetry: chart: %w", err)
+			}
+		}
+	}
+	if c.tracer != nil {
+		var err error
+		switch c.cfg.TraceFormat {
+		case FormatJSONL:
+			err = c.tracer.writeJSONL(c.cfg.Trace)
+		case FormatChrome:
+			err = c.tracer.writeChrome(c.cfg.Trace)
+		default:
+			err = fmt.Errorf("unknown trace format %q (want %q or %q)",
+				c.cfg.TraceFormat, FormatChrome, FormatJSONL)
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry: trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// EventCount reports the number of recorded trace events (tests).
+func (c *Collector) EventCount() int {
+	if c == nil || c.tracer == nil {
+		return 0
+	}
+	return len(c.tracer.events)
+}
+
+// SampleCount reports the number of emitted interval rows (tests).
+func (c *Collector) SampleCount() int {
+	if c == nil || c.sampler == nil {
+		return 0
+	}
+	return len(c.sampler.rows)
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexsnoop/internal/sim"
+)
+
+func TestNilCollectorProbesAreSafe(t *testing.T) {
+	var c *Collector
+	c.TxnIssue(0, 1, "read", 0x40, 0, 0, 0)
+	c.TxnEvent(5, 1, "snoop", 2)
+	c.TxnComplete(9, 1)
+	c.RingHop(3, 0, 1, 2, 1)
+	c.InstallKernelProbe(sim.NewKernel(), nil)
+	if c.Tracing() || c.TraceHops() {
+		t.Error("nil collector reports tracing enabled")
+	}
+	if err := c.Close(100); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Error("nil config enabled")
+	}
+	if (&Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	if !(&Config{Metrics: &bytes.Buffer{}}).Enabled() {
+		t.Error("metrics-only config disabled")
+	}
+	if New(Config{}) != nil {
+		t.Error("New on disabled config should return nil")
+	}
+}
+
+func TestSamplerDifferencesSnapshots(t *testing.T) {
+	// Cumulative counters advance each snapshot; the sampler must emit
+	// per-interval deltas and occupancy fractions.
+	calls := 0
+	snap := func() Sample {
+		s := Sample{
+			EventsExecuted: uint64(10 * calls),
+			ReadRequests:   uint64(4 * calls),
+			WriteRequests:  uint64(1 * calls),
+			Squashes:       uint64(calls),
+			RingBusyCycles: uint64(500 * calls), // 2 links x 1000 cycles => 0.25/interval
+			RingLinks:      2,
+			PredTP:         uint64(3 * calls),
+			PredFP:         uint64(1 * calls),
+			OutstandingTxns: calls,
+		}
+		calls++
+		return s
+	}
+	s := newSampler(1000)
+	s.arm(snap) // baseline: calls=0 snapshot
+	s.observe(999)
+	if len(s.rows) != 0 {
+		t.Fatalf("row emitted before the boundary: %+v", s.rows)
+	}
+	s.observe(1000)
+	s.observe(2500)
+	s.finish(2600)
+	if len(s.rows) != 3 {
+		t.Fatalf("want 3 rows (1000, 2000, final 2600), got %d: %+v", len(s.rows), s.rows)
+	}
+	r := s.rows[0]
+	if r.Cycle != 1000 || r.Events != 10 || r.Reads != 4 || r.Writes != 1 {
+		t.Errorf("first row deltas wrong: %+v", r)
+	}
+	if r.RingOcc != 0.25 {
+		t.Errorf("ring occupancy: want 0.25, got %g", r.RingOcc)
+	}
+	if r.SquashRate != 1.0/5.0 {
+		t.Errorf("squash rate: want 0.2, got %g", r.SquashRate)
+	}
+	if r.TP != 0.75 || r.FP != 0.25 || r.FN != 0 {
+		t.Errorf("predictor fractions: %+v", r)
+	}
+	if last := s.rows[2]; last.Cycle != 2600 {
+		t.Errorf("final partial row at %d, want 2600", last.Cycle)
+	}
+	csv := s.csv()
+	if !strings.HasPrefix(csv, csvHeader+"\n") {
+		t.Error("csv missing header")
+	}
+	if got := strings.Count(csv, "\n"); got != 4 {
+		t.Errorf("csv line count: want 4, got %d", got)
+	}
+}
+
+func TestSamplerUniformBoundaries(t *testing.T) {
+	s := newSampler(100)
+	s.arm(func() Sample { return Sample{} })
+	s.observe(350) // long event gap: must emit 100, 200, 300
+	if len(s.rows) != 3 {
+		t.Fatalf("want one row per crossed boundary, got %d", len(s.rows))
+	}
+	for i, want := range []uint64{100, 200, 300} {
+		if s.rows[i].Cycle != want {
+			t.Errorf("row %d at cycle %d, want %d", i, s.rows[i].Cycle, want)
+		}
+	}
+}
+
+func TestTracerJSONL(t *testing.T) {
+	tr := newTracer(true)
+	tr.issue(10, 1, "read", 0x1240, 3, 2, 0)
+	tr.hop(12, 1, 0, 3, 4)
+	tr.point(15, 1, "snoop", 4)
+	tr.point(20, 1, "supply", 4)
+	tr.complete(30, 1)
+
+	var buf bytes.Buffer
+	if err := tr.writeJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []jsonlEvent
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 5 {
+		t.Fatalf("want 5 events, got %d", len(events))
+	}
+	if e := events[0]; e.Event != "issue" || e.Kind != "read" || e.Addr != "0x1240" || *e.Core != 2 {
+		t.Errorf("issue event: %+v", e)
+	}
+	if e := events[1]; e.Event != "hop" || *e.Ring != 0 || e.Node != 3 || *e.To != 4 {
+		t.Errorf("hop event: %+v", e)
+	}
+	if e := events[4]; e.Event != "complete" || e.Cycle != 30 {
+		t.Errorf("complete event: %+v", e)
+	}
+}
+
+func TestTracerChromeFormat(t *testing.T) {
+	tr := newTracer(false)
+	tr.issue(10, 7, "write", 0x80, 1, 0, 2)
+	tr.point(15, 7, "snoop", 2)
+	tr.complete(40, 7)
+
+	var buf bytes.Buffer
+	if err := tr.writeChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			TS    uint64 `json:"ts"`
+			PID   int    `json:"pid"`
+			TID   int    `json:"tid"`
+			ID    uint64 `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Expect: metadata for CMP 1 and 2, begin, instant, end.
+	var begins, ends, metas int
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "b":
+			begins++
+			if e.PID != 1 || e.TID != 0 || e.TS != 10 || e.ID != 7 {
+				t.Errorf("begin event: %+v", e)
+			}
+		case "e":
+			ends++
+			// The end mirrors the begin's pid/tid even though complete
+			// was recorded with the span's stored provenance.
+			if e.PID != 1 || e.TID != 0 || e.TS != 40 || e.ID != 7 {
+				t.Errorf("end event: %+v", e)
+			}
+		case "M":
+			metas++
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("want one begin and one end, got b=%d e=%d", begins, ends)
+	}
+	if metas != 2 {
+		t.Errorf("want process metadata for CMPs 1 and 2, got %d", metas)
+	}
+}
+
+func TestCollectorCloseWritesAllOutputs(t *testing.T) {
+	var trace, metrics, chart bytes.Buffer
+	c := New(Config{Trace: &trace, TraceFormat: FormatChrome,
+		Metrics: &metrics, Chart: &chart, IntervalCycles: 50})
+	if c == nil {
+		t.Fatal("collector disabled")
+	}
+	kern := sim.NewKernel()
+	c.InstallKernelProbe(kern, func() Sample { return Sample{EventsExecuted: kern.Executed} })
+	c.TxnIssue(0, 1, "read", 0x40, 0, 0, 0)
+	for i := 0; i < 10; i++ {
+		kern.After(sim.Time(20*i+1), func() {})
+	}
+	kern.Run(1000)
+	c.TxnComplete(kern.Now(), 1)
+	if err := c.Close(kern.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(trace.Bytes()) {
+		t.Error("chrome trace is not valid JSON")
+	}
+	if !strings.HasPrefix(metrics.String(), csvHeader) {
+		t.Error("metrics CSV missing header")
+	}
+	if c.SampleCount() == 0 {
+		t.Error("no interval rows sampled")
+	}
+	if !strings.Contains(chart.String(), "<svg") {
+		t.Error("chart output is not SVG")
+	}
+}

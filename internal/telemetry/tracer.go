@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// event is one recorded trace event. Events are buffered in kernel
+// execution order (deterministic for a fixed configuration and seed) and
+// encoded only at Close, keeping the in-run cost to an append.
+type event struct {
+	Cycle uint64
+	Txn   uint64
+	// Name: "issue", "snoop", "supply", "squash", "retry", "memread",
+	// "data", "complete", "hop".
+	Name string
+	// Issue-only provenance.
+	Kind    string
+	Addr    uint64
+	Retries int
+	// Node where the event happened; the requesting core for issue.
+	Node int
+	Core int
+	// Hop-only: ring index and destination node.
+	Ring int
+	To   int
+}
+
+// span remembers an open transaction's issue provenance so its Chrome
+// end-event can carry matching name/pid/tid.
+type span struct {
+	kind    string
+	addr    uint64
+	node    int
+	core    int
+	retries int
+}
+
+type tracer struct {
+	events []event
+	open   map[uint64]span
+	hops   bool
+}
+
+func newTracer(hops bool) *tracer {
+	return &tracer{open: map[uint64]span{}, hops: hops}
+}
+
+func (t *tracer) issue(cycle, txn uint64, kind string, addr uint64, node, core, retries int) {
+	t.events = append(t.events, event{Cycle: cycle, Txn: txn, Name: "issue",
+		Kind: kind, Addr: addr, Node: node, Core: core, Retries: retries})
+	t.open[txn] = span{kind: kind, addr: addr, node: node, core: core, retries: retries}
+}
+
+func (t *tracer) point(cycle, txn uint64, name string, node int) {
+	t.events = append(t.events, event{Cycle: cycle, Txn: txn, Name: name, Node: node})
+}
+
+func (t *tracer) complete(cycle, txn uint64) {
+	sp := t.open[txn]
+	t.events = append(t.events, event{Cycle: cycle, Txn: txn, Name: "complete",
+		Kind: sp.kind, Addr: sp.addr, Node: sp.node, Core: sp.core, Retries: sp.retries})
+	delete(t.open, txn)
+}
+
+func (t *tracer) hop(cycle, txn uint64, ringIdx, from, to int) {
+	t.events = append(t.events, event{Cycle: cycle, Txn: txn, Name: "hop",
+		Ring: ringIdx, Node: from, To: to})
+}
+
+// jsonlEvent is the JSONL wire shape.
+type jsonlEvent struct {
+	Cycle   uint64 `json:"cycle"`
+	Event   string `json:"event"`
+	Txn     uint64 `json:"txn"`
+	Kind    string `json:"kind,omitempty"`
+	Addr    string `json:"addr,omitempty"`
+	Node    int    `json:"node"`
+	Core    *int   `json:"core,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+	Ring    *int   `json:"ring,omitempty"`
+	To      *int   `json:"to,omitempty"`
+}
+
+// writeJSONL encodes one event per line.
+func (t *tracer) writeJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.events {
+		e := &t.events[i]
+		je := jsonlEvent{Cycle: e.Cycle, Event: e.Name, Txn: e.Txn, Node: e.Node}
+		switch e.Name {
+		case "issue", "complete":
+			je.Kind = e.Kind
+			je.Addr = fmt.Sprintf("%#x", e.Addr)
+			je.Core = intp(e.Core)
+			je.Retries = e.Retries
+		case "hop":
+			je.Ring = intp(e.Ring)
+			je.To = intp(e.To)
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func intp(v int) *int { return &v }
+
+// chromeEvent is the Chrome trace-event wire shape. Timestamps are in
+// microseconds; we map one simulated cycle to one microsecond, so
+// Perfetto's time axis reads directly in cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// writeChrome encodes the Chrome trace-event JSON object format:
+// transactions as async begin/end pairs (id = transaction id, pid = the
+// requesting CMP, tid = the requesting core), lifecycle points as
+// thread-scoped instants at the node where they happened, ring hops as
+// instants on the link's source node.
+func (t *tracer) writeChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		raw, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(raw)
+		return err
+	}
+
+	// Process-naming metadata so Perfetto shows "CMP n" tracks.
+	pidSet := map[int]bool{}
+	for i := range t.events {
+		pidSet[t.events[i].Node] = true
+		if t.events[i].Name == "hop" {
+			pidSet[t.events[i].To] = true
+		}
+	}
+	pids := make([]int, 0, len(pidSet))
+	for pid := range pidSet {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := emit(chromeEvent{Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("CMP %d", pid)}}); err != nil {
+			return err
+		}
+	}
+
+	// Track open spans so end events mirror their begin's identity.
+	type openSpan struct {
+		name string
+		pid  int
+		tid  int
+	}
+	spans := map[uint64]openSpan{}
+	for i := range t.events {
+		e := &t.events[i]
+		var ce chromeEvent
+		switch e.Name {
+		case "issue":
+			name := fmt.Sprintf("%s %#x", e.Kind, e.Addr)
+			spans[e.Txn] = openSpan{name: name, pid: e.Node, tid: e.Core}
+			ce = chromeEvent{Name: name, Cat: "txn", Phase: "b", TS: e.Cycle,
+				PID: e.Node, TID: e.Core, ID: e.Txn,
+				Args: map[string]any{"addr": fmt.Sprintf("%#x", e.Addr), "retries": e.Retries}}
+		case "complete":
+			sp, ok := spans[e.Txn]
+			if !ok {
+				sp = openSpan{name: fmt.Sprintf("%s %#x", e.Kind, e.Addr), pid: e.Node, tid: e.Core}
+			}
+			delete(spans, e.Txn)
+			ce = chromeEvent{Name: sp.name, Cat: "txn", Phase: "e", TS: e.Cycle,
+				PID: sp.pid, TID: sp.tid, ID: e.Txn}
+		case "hop":
+			ce = chromeEvent{Name: fmt.Sprintf("hop r%d %d->%d", e.Ring, e.Node, e.To),
+				Cat: "ring", Phase: "i", Scope: "p", TS: e.Cycle, PID: e.Node, ID: e.Txn}
+		default:
+			ce = chromeEvent{Name: e.Name, Cat: "txn", Phase: "i", Scope: "p",
+				TS: e.Cycle, PID: e.Node, ID: e.Txn}
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,69 @@
+package flexsnoop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPoolReportsEveryFailure(t *testing.T) {
+	errA := errors.New("job A failed")
+	errB := errors.New("job B failed")
+	// Two concurrent failures: both must surface in the joined error.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	fail := func(e error) func() error {
+		return func() error {
+			gate.Done()
+			gate.Wait() // both failures in flight together
+			return e
+		}
+	}
+	err := runPool(2, []func() error{fail(errA), fail(errB)})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error lost a failure: %v", err)
+	}
+}
+
+func TestRunPoolStopsLaunchingAfterFailure(t *testing.T) {
+	// Sequential pool: the first job fails, so later jobs never start.
+	var started atomic.Int32
+	jobs := make([]func() error, 10)
+	jobs[0] = func() error {
+		started.Add(1)
+		return fmt.Errorf("boom")
+	}
+	for i := 1; i < len(jobs); i++ {
+		jobs[i] = func() error {
+			started.Add(1)
+			return nil
+		}
+	}
+	err := runPool(1, jobs)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want the failure, got %v", err)
+	}
+	if n := started.Load(); n != 1 {
+		t.Errorf("%d jobs ran after the failure; want the pool to stop at 1", n)
+	}
+}
+
+func TestRunPoolRunsEverythingOnSuccess(t *testing.T) {
+	var ran atomic.Int32
+	jobs := make([]func() error, 23)
+	for i := range jobs {
+		jobs[i] = func() error {
+			ran.Add(1)
+			return nil
+		}
+	}
+	if err := runPool(4, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 23 {
+		t.Errorf("ran %d of 23 jobs", n)
+	}
+}
