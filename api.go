@@ -21,6 +21,7 @@ package flexsnoop
 
 import (
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -52,6 +53,23 @@ const (
 
 // Algorithms returns the seven static algorithms in paper order.
 func Algorithms() []Algorithm { return config.Algorithms() }
+
+// Sentinel errors. Every failure the package reports for a bad input wraps
+// one of these, so callers can branch with errors.Is instead of matching
+// message text:
+//
+//	res, err := flexsnoop.Run(alg, name, opts)
+//	if errors.Is(err, flexsnoop.ErrUnknownWorkload) { ... }
+var (
+	// ErrUnknownWorkload: a workload name no profile matches.
+	ErrUnknownWorkload = workload.ErrUnknown
+	// ErrUnknownAlgorithm: an algorithm name ParseAlgorithm rejects.
+	ErrUnknownAlgorithm = config.ErrUnknownAlgorithm
+	// ErrBadTrace: a malformed, truncated or unsupported trace file.
+	ErrBadTrace = trace.ErrBadTrace
+	// ErrBadConfig: an invalid machine configuration or option combination.
+	ErrBadConfig = config.ErrBadConfig
+)
 
 // ParseAlgorithm maps an algorithm name to its identifier.
 func ParseAlgorithm(name string) (Algorithm, error) { return config.ParseAlgorithm(name) }
@@ -132,6 +150,20 @@ type Options struct {
 	Tweak func(*MachineConfig)
 }
 
+// Validate reports whether the options are internally consistent,
+// wrapping ErrBadConfig on failure. Run and friends call it (plus the
+// algorithm-dependent combination checks) before building the machine, so
+// bad inputs fail fast instead of deep inside the simulator.
+func (o Options) Validate() error {
+	if o.GovernorBudgetNJPerKCycle < 0 {
+		return fmt.Errorf("%w: negative governor budget %g", ErrBadConfig, o.GovernorBudgetNJPerKCycle)
+	}
+	if o.NumRings < 0 {
+		return fmt.Errorf("%w: negative ring count %d", ErrBadConfig, o.NumRings)
+	}
+	return nil
+}
+
 // TelemetryOptions selects the observability outputs of a run; see
 // internal/telemetry for the field documentation.
 type TelemetryOptions = telemetry.Config
@@ -150,23 +182,49 @@ func DefaultMachine() MachineConfig { return config.DefaultMachine() }
 
 // Run simulates one (algorithm, workload) pair.
 func Run(alg Algorithm, workloadName string, opts Options) (Result, error) {
+	return RunContext(context.Background(), alg, workloadName, opts)
+}
+
+// RunContext is Run with cancellation: the simulation stops between
+// events once ctx is cancelled, returning an error that wraps ctx's
+// error (errors.Is(err, context.Canceled) matches). A partial, cancelled
+// run never corrupts shared state — every run builds its own machine — and
+// passing a nil or Background context costs nothing on the hot path.
+func RunContext(ctx context.Context, alg Algorithm, workloadName string, opts Options) (Result, error) {
 	prof, err := workload.ByName(workloadName)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunProfile(alg, prof, opts)
+	return RunProfileContext(ctx, alg, prof, opts)
 }
 
 // RunProfile simulates one algorithm on a custom workload profile.
 func RunProfile(alg Algorithm, prof Profile, opts Options) (Result, error) {
+	return RunProfileContext(context.Background(), alg, prof, opts)
+}
+
+// RunProfileContext is RunProfile with cancellation (see RunContext).
+func RunProfileContext(ctx context.Context, alg Algorithm, prof Profile, opts Options) (Result, error) {
 	exp, err := buildExperiment(alg, prof, opts)
 	if err != nil {
 		return Result{}, err
 	}
+	exp.Context = ctx
 	return machine.Run(exp)
 }
 
+// buildExperiment is the single validated construction path shared by
+// Run/RunProfile/RunTraceFile (and their Context variants): options are
+// validated, applied to a Table 4 default machine, and the final
+// configuration re-validated after the Tweak hook has run.
 func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experiment, error) {
+	if err := opts.Validate(); err != nil {
+		return machine.Experiment{}, err
+	}
+	if opts.GovernorBudgetNJPerKCycle > 0 && !usesDynamic(alg, opts.AlgorithmsPerNode) {
+		return machine.Experiment{}, fmt.Errorf(
+			"%w: GovernorBudgetNJPerKCycle set but no node runs DynamicSuperset", ErrBadConfig)
+	}
 	exp := machine.New(alg, prof)
 	if opts.OpsPerCore > 0 {
 		exp.OpsPerCore = opts.OpsPerCore
@@ -197,10 +255,29 @@ func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experim
 	if opts.Tweak != nil {
 		opts.Tweak(&exp.Machine)
 	}
+	// Checked after Tweak: the hook may legitimately change NumCMPs.
+	if n := len(opts.AlgorithmsPerNode); n > 0 && n != exp.Machine.NumCMPs {
+		return machine.Experiment{}, fmt.Errorf("%w: %d per-node algorithms for %d CMPs",
+			ErrBadConfig, n, exp.Machine.NumCMPs)
+	}
 	if err := exp.Machine.Validate(); err != nil {
 		return machine.Experiment{}, err
 	}
 	return exp, nil
+}
+
+// usesDynamic reports whether any node of the run executes the
+// DynamicSuperset algorithm.
+func usesDynamic(alg Algorithm, perNode []Algorithm) bool {
+	if len(perNode) == 0 {
+		return alg == DynamicSuperset
+	}
+	for _, a := range perNode {
+		if a == DynamicSuperset {
+			return true
+		}
+	}
+	return false
 }
 
 // WriteTraceFile records a workload's per-core reference streams to a
@@ -239,8 +316,15 @@ func WriteTraceFile(path, workloadName string, opsPerCore uint64, seed int64) er
 }
 
 // RunTraceFile replays a trace file under an algorithm. The per-CMP core
-// count is inferred from the trace's stream count.
+// count is inferred from the trace's stream count. Malformed inputs —
+// corrupt data, a bad gzip envelope, or a stream count that does not map
+// onto the machine's CMPs — fail with an error wrapping ErrBadTrace.
 func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
+	return RunTraceFileContext(context.Background(), alg, path, opts)
+}
+
+// RunTraceFileContext is RunTraceFile with cancellation (see RunContext).
+func RunTraceFileContext(ctx context.Context, alg Algorithm, path string, opts Options) (Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Result{}, err
@@ -250,7 +334,7 @@ func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
 	if strings.HasSuffix(path, ".gz") {
 		gz, err := gzip.NewReader(f)
 		if err != nil {
-			return Result{}, fmt.Errorf("flexsnoop: %s: %w", path, err)
+			return Result{}, fmt.Errorf("%w: %s: %v", ErrBadTrace, path, err)
 		}
 		defer gz.Close()
 		r = gz
@@ -261,8 +345,8 @@ func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
 	}
 	m := config.DefaultMachine()
 	if len(streams)%m.NumCMPs != 0 || len(streams) == 0 {
-		return Result{}, fmt.Errorf("flexsnoop: %d trace streams do not map onto %d CMPs",
-			len(streams), m.NumCMPs)
+		return Result{}, fmt.Errorf("%w: %d trace streams do not map onto %d CMPs",
+			ErrBadTrace, len(streams), m.NumCMPs)
 	}
 	prof := workload.Profile{Name: "trace:" + path, PrivateLines: 1}
 	exp, err := buildExperiment(alg, prof, opts)
@@ -272,5 +356,6 @@ func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
 	exp.Machine.CoresPerCMP = len(streams) / m.NumCMPs
 	exp.Traces = streams
 	exp.OpsPerCore = 0
+	exp.Context = ctx
 	return machine.Run(exp)
 }

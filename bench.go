@@ -1,0 +1,214 @@
+package flexsnoop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// This file is the continuous-benchmark harness behind cmd/bench and the
+// ci.sh bench step. It runs a fixed scenario set through testing.Benchmark
+// so every PR records comparable wall-time and allocation numbers in a
+// BENCH_<pr>.json artifact at the repository root.
+
+// BenchConfig selects what RunBenchSuite measures.
+type BenchConfig struct {
+	// Short halves the per-scenario reference counts, for CI. The
+	// matrix-subset scenario keeps its full size either way so its
+	// allocs/op stay comparable across BENCH_*.json generations.
+	Short bool
+	// Scenarios, when non-empty, restricts the run to the named
+	// scenarios (see BenchScenarios).
+	Scenarios []string
+}
+
+// BenchResult records one scenario's measurement. Allocation numbers come
+// from testing.Benchmark's memory accounting (the -benchmem counters);
+// SimCycles is the simulated time covered by one iteration, so
+// CyclesPerSec is the simulator's throughput in simulated cycles per
+// wall-clock second.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	CyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// BenchSuite is the BENCH_<pr>.json document: the full scenario set from
+// one RunBenchSuite call.
+type BenchSuite struct {
+	GoVersion   string        `json:"go_version"`
+	Short       bool          `json:"short"`
+	GeneratedAt string        `json:"generated_at"`
+	Results     []BenchResult `json:"results"`
+}
+
+// Result returns the named scenario's measurement.
+func (s *BenchSuite) Result(name string) (BenchResult, bool) {
+	for _, r := range s.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// benchScenario is one fixed workload of the suite. setup runs once,
+// outside the measured region, and returns the per-iteration body; the
+// body returns the simulated cycles it covered.
+type benchScenario struct {
+	name  string
+	ops   uint64 // reference count per core at full size
+	fixed bool   // ops not halved in Short mode
+	setup func(ops uint64) (func() (uint64, error), func(), error)
+}
+
+// benchScenarios returns the fixed scenario set, in run order.
+func benchScenarios() []benchScenario {
+	return []benchScenario{
+		{
+			// The figure-6..9 matrix restricted to two SPLASH-2 apps:
+			// every algorithm over barnes, fft, SPECjbb and SPECweb.
+			// This is the suite's headline allocs/op number, so its
+			// size is fixed across Short and full runs.
+			name: "matrix-subset", ops: 800, fixed: true,
+			setup: func(ops uint64) (func() (uint64, error), func(), error) {
+				opts := FigureOptions{OpsPerCore: ops, Seed: 1, Apps: []string{"barnes", "fft"}}
+				return func() (uint64, error) {
+					m, err := RunMatrix(opts)
+					if err != nil {
+						return 0, err
+					}
+					var cycles uint64
+					for _, byWl := range m.results {
+						for _, res := range byWl {
+							cycles += uint64(res.Cycles)
+						}
+					}
+					return cycles, nil
+				}, nil, nil
+			},
+		},
+		{
+			// The largest machine of the scaling study: one 16-CMP run.
+			name: "scaling-16cmp", ops: 600,
+			setup: func(ops uint64) (func() (uint64, error), func(), error) {
+				opts := Options{
+					OpsPerCore: ops, Seed: 1,
+					Tweak: func(m *MachineConfig) {
+						m.NumCMPs = 16
+						m.TorusWidth, m.TorusHeight = 4, 4
+					},
+				}
+				return func() (uint64, error) {
+					res, err := Run(SupersetAgg, "barnes", opts)
+					if err != nil {
+						return 0, err
+					}
+					return uint64(res.Cycles), nil
+				}, nil, nil
+			},
+		},
+		{
+			// Trace-driven mode: replay a recorded SPECjbb trace. The
+			// trace is written once, outside the measured region.
+			name: "trace-replay", ops: 1000,
+			setup: func(ops uint64) (func() (uint64, error), func(), error) {
+				dir, err := os.MkdirTemp("", "flexsnoop-bench")
+				if err != nil {
+					return nil, nil, err
+				}
+				path := filepath.Join(dir, "specjbb.trace")
+				if err := WriteTraceFile(path, "specjbb", ops, 1); err != nil {
+					os.RemoveAll(dir)
+					return nil, nil, err
+				}
+				body := func() (uint64, error) {
+					res, err := RunTraceFile(Eager, path, Options{})
+					if err != nil {
+						return 0, err
+					}
+					return uint64(res.Cycles), nil
+				}
+				return body, func() { os.RemoveAll(dir) }, nil
+			},
+		},
+	}
+}
+
+// BenchScenarios lists the scenario names RunBenchSuite knows, in run
+// order.
+func BenchScenarios() []string {
+	var names []string
+	for _, sc := range benchScenarios() {
+		names = append(names, sc.name)
+	}
+	return names
+}
+
+// RunBenchSuite measures every scenario (or the cfg.Scenarios subset)
+// with testing.Benchmark and returns the suite document for BENCH_*.json.
+func RunBenchSuite(cfg BenchConfig) (*BenchSuite, error) {
+	want := map[string]bool{}
+	for _, n := range cfg.Scenarios {
+		want[n] = true
+	}
+	suite := &BenchSuite{
+		GoVersion:   runtime.Version(),
+		Short:       cfg.Short,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, sc := range benchScenarios() {
+		if len(want) > 0 && !want[sc.name] {
+			continue
+		}
+		ops := sc.ops
+		if cfg.Short && !sc.fixed {
+			ops /= 2
+		}
+		body, cleanup, err := sc.setup(ops)
+		if err != nil {
+			return nil, fmt.Errorf("flexsnoop: bench %s setup: %w", sc.name, err)
+		}
+		var cycles uint64
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := body()
+				if err != nil {
+					runErr = err
+					b.StopTimer()
+					return
+				}
+				cycles = c
+			}
+		})
+		if cleanup != nil {
+			cleanup()
+		}
+		if runErr != nil {
+			return nil, fmt.Errorf("flexsnoop: bench %s: %w", sc.name, runErr)
+		}
+		nsOp := r.NsPerOp()
+		res := BenchResult{
+			Name:        sc.name,
+			Iterations:  r.N,
+			NsPerOp:     nsOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			SimCycles:   cycles,
+		}
+		if nsOp > 0 {
+			res.CyclesPerSec = float64(cycles) / (float64(nsOp) / 1e9)
+		}
+		suite.Results = append(suite.Results, res)
+	}
+	return suite, nil
+}

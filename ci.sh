@@ -21,4 +21,9 @@ go test ./...
 echo "== go test -race =="
 go test -race ./internal/... .
 
+echo "== bench (short) =="
+# Record this PR's benchmark numbers; cmd/bench prints a comparison
+# against the newest prior BENCH_*.json when one exists.
+go run ./cmd/bench -short -out BENCH_2.json
+
 echo "CI OK"

@@ -1,0 +1,143 @@
+// Command bench runs the repository's continuous benchmark suite (see
+// RunBenchSuite) and writes the result as a BENCH_<pr>.json document,
+// printing a comparison against the newest prior BENCH_*.json it can find
+// next to the output file.
+//
+// Usage:
+//
+//	bench [-out BENCH_2.json] [-short] [-run matrix-subset,...] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"flexsnoop"
+	"flexsnoop/internal/cli"
+	"flexsnoop/internal/stats"
+)
+
+var (
+	outFlag   = flag.String("out", "", "output JSON file (default: print to stdout)")
+	shortFlag = flag.Bool("short", false, "short mode: smaller scenarios (matrix-subset stays full size)")
+	runFlag   = flag.String("run", "", "comma-separated scenario subset (default: all)")
+	listFlag  = flag.Bool("list", false, "list scenarios, then exit")
+)
+
+func main() {
+	flag.Parse()
+	if *listFlag {
+		for _, n := range flexsnoop.BenchScenarios() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(cli.ExitCode(err))
+	}
+}
+
+func run() error {
+	cfg := flexsnoop.BenchConfig{Short: *shortFlag}
+	if *runFlag != "" {
+		cfg.Scenarios = strings.Split(*runFlag, ",")
+	}
+	suite, err := flexsnoop.RunBenchSuite(cfg)
+	if err != nil {
+		return err
+	}
+	printSuite(suite)
+
+	if *outFlag == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(suite)
+	}
+	if prior, name := newestPrior(*outFlag); prior != nil {
+		printComparison(name, prior, suite)
+	}
+	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *outFlag)
+	return nil
+}
+
+func printSuite(s *flexsnoop.BenchSuite) {
+	t := stats.NewTable(fmt.Sprintf("Benchmark suite (%s, short=%v)", s.GoVersion, s.Short),
+		"Scenario", "ns/op", "allocs/op", "B/op", "sim cycles", "Mcycles/s")
+	for _, r := range s.Results {
+		t.AddRowf(r.Name, fmt.Sprintf("%d", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp), fmt.Sprintf("%d", r.SimCycles),
+			r.CyclesPerSec/1e6)
+	}
+	fmt.Println(t)
+}
+
+// newestPrior finds the lexically newest BENCH_*.json in out's directory,
+// excluding out itself. BENCH file names embed the PR number, so the
+// lexical order is the PR order for single-digit PRs and close enough
+// beyond; ties in real repositories are broken by reviewing the diff.
+func newestPrior(out string) (*flexsnoop.BenchSuite, string) {
+	dir := filepath.Dir(out)
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, ""
+	}
+	outAbs, _ := filepath.Abs(out)
+	var names []string
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == outAbs {
+			continue
+		}
+		names = append(names, m)
+	}
+	if len(names) == 0 {
+		return nil, ""
+	}
+	sort.Strings(names)
+	name := names[len(names)-1]
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, ""
+	}
+	var s flexsnoop.BenchSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: ignoring unreadable %s: %v\n", name, err)
+		return nil, ""
+	}
+	return &s, name
+}
+
+func printComparison(priorName string, prior, cur *flexsnoop.BenchSuite) {
+	t := stats.NewTable("Comparison vs "+filepath.Base(priorName),
+		"Scenario", "ns/op delta", "allocs/op delta", "B/op delta")
+	for _, r := range cur.Results {
+		p, ok := prior.Result(r.Name)
+		if !ok {
+			t.AddRowf(r.Name, "new", "new", "new")
+			continue
+		}
+		t.AddRowf(r.Name, delta(r.NsPerOp, p.NsPerOp), delta(r.AllocsPerOp, p.AllocsPerOp),
+			delta(r.BytesPerOp, p.BytesPerOp))
+	}
+	fmt.Println(t)
+}
+
+// delta formats the relative change from prior to cur.
+func delta(cur, prior int64) string {
+	if prior == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*float64(cur-prior)/float64(prior))
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"flexsnoop"
+	"flexsnoop/internal/cli"
 	"flexsnoop/internal/config"
 	"flexsnoop/internal/stats"
 )
@@ -45,7 +46,7 @@ func main() {
 	flag.Parse()
 	if err := run(*expFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 

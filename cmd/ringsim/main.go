@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 
 	"flexsnoop"
+	"flexsnoop/internal/cli"
 	"flexsnoop/internal/energy"
 	"flexsnoop/internal/protocol"
 	"flexsnoop/internal/stats"
@@ -72,7 +73,7 @@ func main() {
 	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ringsim:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }
 

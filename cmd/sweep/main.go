@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"flexsnoop"
+	"flexsnoop/internal/cli"
 	"flexsnoop/internal/stats"
 )
 
@@ -39,7 +40,7 @@ func main() {
 	s, err := flexsnoop.RunSensitivity(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 
 	sort.Slice(s.Cells, func(i, j int) bool {

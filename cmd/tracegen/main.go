@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"flexsnoop"
+	"flexsnoop/internal/cli"
 )
 
 var (
@@ -31,7 +32,7 @@ func main() {
 	}
 	if err := flexsnoop.WriteTraceFile(*outFlag, *wlFlag, *opsFlag, *seedFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 	fmt.Printf("wrote %s: %s, %d refs/core, seed %d\n", *outFlag, *wlFlag, *opsFlag, *seedFlag)
 }

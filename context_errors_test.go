@@ -1,0 +1,244 @@
+package flexsnoop_test
+
+// Tests for the context-aware entry points and the typed error sentinels:
+// every sentinel must be reachable through errors.Is across the public
+// API, and cancellation must be prompt without perturbing uncancelled
+// runs.
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"flexsnoop"
+	"flexsnoop/internal/trace"
+	"flexsnoop/internal/workload"
+)
+
+func TestErrUnknownWorkloadIs(t *testing.T) {
+	_, err := flexsnoop.Run(flexsnoop.Lazy, "no-such-app", flexsnoop.Options{OpsPerCore: 10})
+	if !errors.Is(err, flexsnoop.ErrUnknownWorkload) {
+		t.Errorf("Run(unknown workload) = %v, want ErrUnknownWorkload", err)
+	}
+	if _, err := flexsnoop.WorkloadByName("no-such-app"); !errors.Is(err, flexsnoop.ErrUnknownWorkload) {
+		t.Errorf("WorkloadByName = %v, want ErrUnknownWorkload", err)
+	}
+	if err := flexsnoop.WriteTraceFile(filepath.Join(t.TempDir(), "x"), "no-such-app", 10, 1); !errors.Is(err, flexsnoop.ErrUnknownWorkload) {
+		t.Errorf("WriteTraceFile(unknown workload) = %v, want ErrUnknownWorkload", err)
+	}
+}
+
+func TestErrUnknownAlgorithmIs(t *testing.T) {
+	_, err := flexsnoop.ParseAlgorithm("Zippy")
+	if !errors.Is(err, flexsnoop.ErrUnknownAlgorithm) {
+		t.Errorf("ParseAlgorithm = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestErrBadConfigIs(t *testing.T) {
+	// Governor budget on a non-adaptive algorithm is a configuration
+	// error, caught before any simulation runs.
+	_, err := flexsnoop.Run(flexsnoop.Lazy, "fft", flexsnoop.Options{
+		OpsPerCore: 10, GovernorBudgetNJPerKCycle: 5,
+	})
+	if !errors.Is(err, flexsnoop.ErrBadConfig) {
+		t.Errorf("governor on Lazy = %v, want ErrBadConfig", err)
+	}
+	// Wrong AlgorithmsPerNode length.
+	_, err = flexsnoop.Run(flexsnoop.Lazy, "fft", flexsnoop.Options{
+		OpsPerCore:        10,
+		AlgorithmsPerNode: []flexsnoop.Algorithm{flexsnoop.Lazy, flexsnoop.Eager},
+	})
+	if !errors.Is(err, flexsnoop.ErrBadConfig) {
+		t.Errorf("wrong per-node length = %v, want ErrBadConfig", err)
+	}
+	// Options.Validate rejects impossible values directly.
+	if err := (flexsnoop.Options{NumRings: -1}).Validate(); !errors.Is(err, flexsnoop.ErrBadConfig) {
+		t.Errorf("Validate(NumRings: -1) = %v, want ErrBadConfig", err)
+	}
+	if err := (flexsnoop.Options{GovernorBudgetNJPerKCycle: -2}).Validate(); !errors.Is(err, flexsnoop.ErrBadConfig) {
+		t.Errorf("Validate(negative budget) = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestErrBadTraceIs(t *testing.T) {
+	dir := t.TempDir()
+
+	// Corrupt contents.
+	corrupt := filepath.Join(dir, "corrupt.trace")
+	if err := os.WriteFile(corrupt, []byte("definitely not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flexsnoop.RunTraceFile(flexsnoop.Lazy, corrupt, flexsnoop.Options{}); !errors.Is(err, flexsnoop.ErrBadTrace) {
+		t.Errorf("corrupt trace = %v, want ErrBadTrace", err)
+	}
+
+	// Bad gzip envelope: a .gz path whose contents are not gzip.
+	badGz := filepath.Join(dir, "bad.trace.gz")
+	if err := os.WriteFile(badGz, []byte("not gzip either"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flexsnoop.RunTraceFile(flexsnoop.Lazy, badGz, flexsnoop.Options{}); !errors.Is(err, flexsnoop.ErrBadTrace) {
+		t.Errorf("bad gzip envelope = %v, want ErrBadTrace", err)
+	}
+
+	// Truncated but well-formed prefix: gzip of a valid header cut short.
+	truncated := filepath.Join(dir, "trunc.trace.gz")
+	full := filepath.Join(dir, "full.trace")
+	if err := flexsnoop.WriteTraceFile(full, "fft", 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write(data[:len(data)/3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flexsnoop.RunTraceFile(flexsnoop.Lazy, truncated, flexsnoop.Options{}); !errors.Is(err, flexsnoop.ErrBadTrace) {
+		t.Errorf("truncated trace = %v, want ErrBadTrace", err)
+	}
+
+	// A stream count that does not map onto the machine's CMPs.
+	mismatch := filepath.Join(dir, "mismatch.trace")
+	prof, err := workload.ByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][]workload.Op, 3) // default machine has 8 CMPs
+	for g := range streams {
+		streams[g] = trace.Record(workload.NewGenerator(prof, g, 20, 1))
+	}
+	mf, err := os.Create(mismatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(mf, streams); err != nil {
+		t.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flexsnoop.RunTraceFile(flexsnoop.Lazy, mismatch, flexsnoop.Options{}); !errors.Is(err, flexsnoop.ErrBadTrace) {
+		t.Errorf("3-stream trace on 8-CMP machine = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := flexsnoop.RunContext(ctx, flexsnoop.Lazy, "fft", flexsnoop.Options{OpsPerCore: 200})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(cancelled) = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelIsPrompt(t *testing.T) {
+	// Cancel mid-run and require a prompt return: the kernel polls the
+	// context between events, so even a large simulation must stop in
+	// well under a second of wall time once the context is done.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	start := make(chan struct{})
+	go func() {
+		close(start)
+		_, err := flexsnoop.RunContext(ctx, flexsnoop.Eager, "specjbb", flexsnoop.Options{OpsPerCore: 200_000})
+		errc <- err
+	}()
+	<-start
+	time.Sleep(20 * time.Millisecond) // let the simulation get going
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not return promptly")
+	}
+}
+
+func TestRunContextDoesNotPerturbDeterminism(t *testing.T) {
+	// A run under a live-but-never-cancelled context, and a run after an
+	// aborted run, must both be cycle-identical to a plain Run.
+	opts := flexsnoop.Options{OpsPerCore: 400, Seed: 9}
+	base, err := flexsnoop.Run(flexsnoop.SupersetAgg, "barnes", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := flexsnoop.RunContext(ctx, flexsnoop.SupersetAgg, "barnes", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Cycles != base.Cycles || withCtx.Stats.SnoopsPerReadRequest() != base.Stats.SnoopsPerReadRequest() {
+		t.Fatalf("context-bearing run diverged: %d vs %d cycles", withCtx.Cycles, base.Cycles)
+	}
+
+	// Abort one run, then check a fresh run still matches.
+	aborted, abort := context.WithCancel(context.Background())
+	abort()
+	if _, err := flexsnoop.RunContext(aborted, flexsnoop.SupersetAgg, "barnes", opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted run returned %v", err)
+	}
+	again, err := flexsnoop.Run(flexsnoop.SupersetAgg, "barnes", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cycles != base.Cycles {
+		t.Fatalf("run after an aborted run diverged: %d vs %d cycles", again.Cycles, base.Cycles)
+	}
+}
+
+func TestFigureOptionsContextStopsMatrix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := flexsnoop.RunMatrix(flexsnoop.FigureOptions{
+		OpsPerCore: 100, Apps: []string{"fft"}, Context: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMatrix(cancelled ctx) = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunBenchSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite is slow")
+	}
+	s, err := flexsnoop.RunBenchSuite(flexsnoop.BenchConfig{
+		Short: true, Scenarios: []string{"trace-replay"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Result("trace-replay")
+	if !ok {
+		t.Fatal("trace-replay result missing")
+	}
+	if r.Iterations == 0 || r.NsPerOp <= 0 || r.SimCycles == 0 || r.CyclesPerSec <= 0 {
+		t.Errorf("implausible bench result: %+v", r)
+	}
+	if r.AllocsPerOp <= 0 {
+		t.Errorf("allocs/op = %d; memory accounting missing", r.AllocsPerOp)
+	}
+	if len(flexsnoop.BenchScenarios()) != 3 {
+		t.Errorf("scenario set = %v, want 3 entries", flexsnoop.BenchScenarios())
+	}
+}

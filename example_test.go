@@ -1,7 +1,10 @@
 package flexsnoop_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"flexsnoop"
 )
@@ -50,4 +53,27 @@ func ExampleRun() {
 		res.Stats.SnoopsPerReadRequest(), res.Stats.ReadSegmentsPerRequest())
 	// Output:
 	// snoops/request=7 segments/request=15
+}
+
+// RunContext bounds a simulation with a context: the run stops between
+// events as soon as the context is done, and the returned error wraps the
+// context's error. A run whose context never fires is cycle-identical to
+// a plain Run.
+func ExampleRunContext() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	res, err := flexsnoop.RunContext(ctx, flexsnoop.Eager, "water-sp", flexsnoop.Options{
+		OpsPerCore: 300, Seed: 1,
+	})
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("ran out of time")
+		return
+	}
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("snoops/request=%.0f\n", res.Stats.SnoopsPerReadRequest())
+	// Output:
+	// snoops/request=7
 }

@@ -1,6 +1,7 @@
 package flexsnoop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -38,6 +39,18 @@ type FigureOptions struct {
 	// for that cell's simulation. It is called sequentially while jobs
 	// are being created, so it may open files without synchronisation.
 	TelemetryFor func(alg Algorithm, workload string) *TelemetryOptions
+	// Context, when non-nil, cancels the whole driver: in-flight
+	// simulations stop between events, and no further jobs launch. A nil
+	// or Background context costs nothing.
+	Context context.Context
+}
+
+// ctx returns the driver's context, defaulting to Background.
+func (o FigureOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o FigureOptions) withDefaults() FigureOptions {
@@ -60,6 +73,13 @@ func (o FigureOptions) withDefaults() FigureOptions {
 // After the first failure no further jobs are launched (already-running
 // jobs finish); every failure is reported, joined with errors.Join.
 func runPool(parallelism int, jobs []func() error) error {
+	return runPoolContext(context.Background(), parallelism, jobs)
+}
+
+// runPoolContext is runPool with cancellation: once ctx is done, no
+// further jobs launch (in-flight jobs observe ctx themselves) and the
+// context's error joins the result.
+func runPoolContext(ctx context.Context, parallelism int, jobs []func() error) error {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -77,6 +97,13 @@ func runPool(parallelism int, jobs []func() error) error {
 		// recorded while we waited is then guaranteed visible, so at
 		// most parallelism-1 extra jobs start after the first error.
 		sem <- struct{}{}
+		if err := ctx.Err(); err != nil {
+			<-sem
+			mu.Lock()
+			errs = append(errs, err)
+			mu.Unlock()
+			break
+		}
 		if failed() {
 			<-sem
 			break
@@ -157,7 +184,7 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 				tel = o.TelemetryFor(alg, prof.Name)
 			}
 			jobs = append(jobs, func() error {
-				res, err := RunProfile(alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel})
+				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel})
 				if err != nil {
 					return fmt.Errorf("flexsnoop: %v on %s: %w", alg, prof.Name, err)
 				}
@@ -172,7 +199,7 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 			})
 		}
 	}
-	if err := runPool(o.Parallelism, jobs); err != nil {
+	if err := runPoolContext(o.ctx(), o.Parallelism, jobs); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -407,7 +434,7 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 			}
 		}
 	}
-	if err := runPool(o.Parallelism, jobs); err != nil {
+	if err := runPoolContext(o.ctx(), o.Parallelism, jobs); err != nil {
 		return nil, err
 	}
 
@@ -473,7 +500,7 @@ func ScalingStudy(alg Algorithm, workloadName string, opts FigureOptions) ([]Sca
 	var base float64
 	for _, sz := range sizes {
 		sz := sz
-		res, err := RunProfile(alg, prof, Options{
+		res, err := RunProfileContext(o.ctx(), alg, prof, Options{
 			OpsPerCore: o.OpsPerCore, Seed: o.Seed,
 			Tweak: func(m *MachineConfig) {
 				m.NumCMPs = sz.n

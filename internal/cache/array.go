@@ -30,15 +30,7 @@ func NewArray(cfg config.CacheConfig) *Array {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
 	}
-	a := &Array{
-		sets:    make([][]Line, sets),
-		assoc:   cfg.Assoc,
-		setMask: LineAddr(sets - 1),
-	}
-	for i := range a.sets {
-		a.sets[i] = make([]Line, 0, cfg.Assoc)
-	}
-	return a
+	return newArray(sets, cfg.Assoc)
 }
 
 // NewArrayGeometry builds an array directly from (sets, assoc); used by
@@ -47,13 +39,20 @@ func NewArrayGeometry(sets, assoc int) *Array {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", sets))
 	}
+	return newArray(sets, assoc)
+}
+
+// newArray carves every set out of one backing slab: a machine builds
+// thousands of arrays, and one allocation per array beats one per set.
+func newArray(sets, assoc int) *Array {
 	a := &Array{
 		sets:    make([][]Line, sets),
 		assoc:   assoc,
 		setMask: LineAddr(sets - 1),
 	}
+	backing := make([]Line, sets*assoc)
 	for i := range a.sets {
-		a.sets[i] = make([]Line, 0, assoc)
+		a.sets[i] = backing[i*assoc : i*assoc : (i+1)*assoc]
 	}
 	return a
 }

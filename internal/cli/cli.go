@@ -1,0 +1,37 @@
+// Package cli holds behaviour shared by the command-line tools.
+package cli
+
+import (
+	"errors"
+
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/trace"
+	"flexsnoop/internal/workload"
+)
+
+// Exit codes shared by every tool, keyed off the root package's error
+// sentinels so scripts can distinguish operator mistakes from runtime
+// failures.
+const (
+	ExitOK       = 0 // success
+	ExitFailure  = 1 // simulation or I/O failure
+	ExitUsage    = 2 // bad flags or configuration (ErrUnknown*/ErrBadConfig)
+	ExitBadTrace = 3 // unreadable or corrupt trace file (ErrBadTrace)
+)
+
+// ExitCode maps an error to the tool exit code via errors.Is on the
+// flexsnoop sentinels, so a wrapped cause anywhere in the chain counts.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, trace.ErrBadTrace):
+		return ExitBadTrace
+	case errors.Is(err, workload.ErrUnknown),
+		errors.Is(err, config.ErrUnknownAlgorithm),
+		errors.Is(err, config.ErrBadConfig):
+		return ExitUsage
+	default:
+		return ExitFailure
+	}
+}

@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"flexsnoop/internal/config"
+	"flexsnoop/internal/trace"
+	"flexsnoop/internal/workload"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("boom"), ExitFailure},
+		{fmt.Errorf("outer: %w", config.ErrUnknownAlgorithm), ExitUsage},
+		{fmt.Errorf("outer: %w", config.ErrBadConfig), ExitUsage},
+		{fmt.Errorf("outer: %w", workload.ErrUnknown), ExitUsage},
+		{fmt.Errorf("outer: %w", trace.ErrBadTrace), ExitBadTrace},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -9,6 +9,17 @@ import (
 	"fmt"
 )
 
+// Sentinel errors for the package's two failure classes; match with
+// errors.Is. Every ParseAlgorithm and Validate failure wraps one of them.
+var (
+	// ErrUnknownAlgorithm is returned (wrapped) for unrecognized
+	// algorithm names.
+	ErrUnknownAlgorithm = errors.New("config: unknown algorithm")
+	// ErrBadConfig is returned (wrapped) for invalid machine
+	// configurations.
+	ErrBadConfig = errors.New("config: invalid configuration")
+)
+
 // Algorithm identifies one of the snooping algorithms studied in the paper.
 type Algorithm int
 
@@ -81,7 +92,7 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("config: unknown algorithm %q", name)
+	return 0, fmt.Errorf("%w %q", ErrUnknownAlgorithm, name)
 }
 
 // DecouplesWrites reports whether the algorithm splits write snoops into a
@@ -375,32 +386,32 @@ func DefaultMachine() MachineConfig {
 func (m MachineConfig) Validate() error {
 	switch {
 	case m.NumCMPs < 2:
-		return errors.New("config: need at least 2 CMPs for a ring")
+		return fmt.Errorf("%w: need at least 2 CMPs for a ring", ErrBadConfig)
 	case m.CoresPerCMP < 1:
-		return errors.New("config: need at least 1 core per CMP")
+		return fmt.Errorf("%w: need at least 1 core per CMP", ErrBadConfig)
 	case m.NumRings < 1:
-		return errors.New("config: need at least 1 embedded ring")
+		return fmt.Errorf("%w: need at least 1 embedded ring", ErrBadConfig)
 	case m.L2.LineBytes == 0 || m.L2.LineBytes&(m.L2.LineBytes-1) != 0:
-		return fmt.Errorf("config: L2 line size %d is not a power of two", m.L2.LineBytes)
+		return fmt.Errorf("%w: L2 line size %d is not a power of two", ErrBadConfig, m.L2.LineBytes)
 	case m.L1.LineBytes != m.L2.LineBytes:
-		return errors.New("config: L1 and L2 line sizes must match")
+		return fmt.Errorf("%w: L1 and L2 line sizes must match", ErrBadConfig)
 	case m.L2.Sets() == 0 || m.L2.Sets()&(m.L2.Sets()-1) != 0:
-		return fmt.Errorf("config: L2 set count %d is not a power of two", m.L2.Sets())
+		return fmt.Errorf("%w: L2 set count %d is not a power of two", ErrBadConfig, m.L2.Sets())
 	case m.L1.Sets() == 0 || m.L1.Sets()&(m.L1.Sets()-1) != 0:
-		return fmt.Errorf("config: L1 set count %d is not a power of two", m.L1.Sets())
+		return fmt.Errorf("%w: L1 set count %d is not a power of two", ErrBadConfig, m.L1.Sets())
 	case m.TorusWidth*m.TorusHeight < m.NumCMPs:
-		return fmt.Errorf("config: %dx%d torus cannot place %d CMPs",
+		return fmt.Errorf("%w: %dx%d torus cannot place %d CMPs", ErrBadConfig,
 			m.TorusWidth, m.TorusHeight, m.NumCMPs)
 	case m.RingLinkCycles <= 0 || m.CMPSnoopCycles <= 0:
-		return errors.New("config: ring latencies must be positive")
+		return fmt.Errorf("%w: ring latencies must be positive", ErrBadConfig)
 	case m.BusOccupancyCycles <= 0:
-		return errors.New("config: bus occupancy must be positive")
+		return fmt.Errorf("%w: bus occupancy must be positive", ErrBadConfig)
 	case m.WriteBufferEntries < 1:
-		return errors.New("config: write buffer needs at least 1 entry")
+		return fmt.Errorf("%w: write buffer needs at least 1 entry", ErrBadConfig)
 	case m.MaxOutstandingLoads < 1:
-		return errors.New("config: need at least 1 outstanding load")
+		return fmt.Errorf("%w: need at least 1 outstanding load", ErrBadConfig)
 	case m.MaxTransactionsPerNode < 1:
-		return errors.New("config: need at least 1 outstanding transaction per node")
+		return fmt.Errorf("%w: need at least 1 outstanding transaction per node", ErrBadConfig)
 	}
 	return nil
 }

@@ -31,19 +31,37 @@ type Core struct {
 	wbCap  int
 	wbUsed int
 	// stalled holds a store waiting for a write-buffer slot.
-	stalled  *workload.Op
-	draining bool
-	finished bool
-	onFinish func()
+	stalled    workload.Op
+	hasStalled bool
+	draining   bool
+	finished   bool
+	onFinish   func()
 
 	// Memory-level parallelism: with loadCap > 1 the core keeps issuing
 	// past load misses until loadCap loads are outstanding (an
 	// out-of-order window approximation); loadCap == 1 models an
 	// in-order core with blocking loads.
-	loadCap     int
-	loadsOut    int
-	stalledLoad *workload.Op
-	ldStallFrom sim.Time
+	loadCap        int
+	loadsOut       int
+	stalledLoad    workload.Op
+	hasStalledLoad bool
+	ldStallFrom    sim.Time
+
+	// pendingOp carries the operation between step and issue; reusing
+	// one slot (plus the per-core callbacks below) keeps the per-op hot
+	// path allocation-free.
+	pendingOp workload.Op
+	// blockStart/blockCompute carry the in-flight blocking load's issue
+	// cycle and compute count (loadCap == 1 permits only one).
+	blockStart   sim.Time
+	blockCompute uint32
+
+	// Per-core reusable callbacks (allocated once in NewMLP).
+	stepFn      func()
+	issueFn     func()
+	loadDoneFn  func()
+	blockDoneFn func()
+	storeDoneFn func()
 
 	// Stats.
 	Instructions uint64
@@ -70,16 +88,32 @@ func NewMLP(kern *sim.Kernel, mem Memory, node, core, writeBufferEntries, maxOut
 	if maxOutstandingLoads < 1 {
 		panic("cpu: need at least one outstanding load")
 	}
-	return &Core{
+	c := &Core{
 		kern: kern, mem: mem, node: node, core: core,
 		wbCap: writeBufferEntries, loadCap: maxOutstandingLoads,
 		src: src, onFinish: onFinish,
 	}
+	c.stepFn = c.step
+	c.issueFn = func() { c.issue(c.pendingOp) }
+	c.loadDoneFn = func() {
+		c.loadsOut--
+		c.loadRetired()
+	}
+	c.blockDoneFn = func() {
+		c.LoadStall += uint64(c.kern.Now() - c.blockStart)
+		c.Instructions += uint64(c.blockCompute) + 1
+		c.step()
+	}
+	c.storeDoneFn = func() {
+		c.wbUsed--
+		c.storeRetired()
+	}
+	return c
 }
 
 // Start schedules the core's first instruction at the current cycle.
 func (c *Core) Start() {
-	c.kern.After(0, c.step)
+	c.kern.After(0, c.stepFn)
 }
 
 // Finished reports whether the core retired its whole stream.
@@ -92,11 +126,13 @@ func (c *Core) step() {
 		c.drain()
 		return
 	}
-	issue := func() { c.issue(op) }
+	// At most one operation is between fetch and issue at a time, so the
+	// pendingOp slot plus the prebuilt issueFn replace a per-op closure.
+	c.pendingOp = op
 	if op.Compute > 0 {
-		c.kern.After(sim.Time(op.Compute), issue)
+		c.kern.After(sim.Time(op.Compute), c.issueFn)
 	} else {
-		issue()
+		c.issue(op)
 	}
 }
 
@@ -111,39 +147,33 @@ func (c *Core) issue(op workload.Op) {
 		return
 	}
 	c.Loads++
-	start := c.kern.Now()
-	c.mem.Access(c.node, c.core, protocol.Load, op.Addr, func() {
-		c.LoadStall += uint64(c.kern.Now() - start)
-		c.Instructions += uint64(op.Compute) + 1
-		c.step()
-	})
+	c.blockStart = c.kern.Now()
+	c.blockCompute = op.Compute
+	c.mem.Access(c.node, c.core, protocol.Load, op.Addr, c.blockDoneFn)
 }
 
 // issueLoadMLP issues a load without blocking unless the outstanding-load
 // window is full.
 func (c *Core) issueLoadMLP(op workload.Op) {
 	if c.loadsOut >= c.loadCap {
-		op := op
-		c.stalledLoad = &op
+		c.stalledLoad = op
+		c.hasStalledLoad = true
 		c.ldStallFrom = c.kern.Now()
 		return // a load completion resumes us
 	}
 	c.loadsOut++
 	c.Loads++
 	c.Instructions += uint64(op.Compute) + 1
-	c.mem.Access(c.node, c.core, protocol.Load, op.Addr, func() {
-		c.loadsOut--
-		c.loadRetired()
-	})
-	c.kern.After(1, c.step)
+	c.mem.Access(c.node, c.core, protocol.Load, op.Addr, c.loadDoneFn)
+	c.kern.After(1, c.stepFn)
 }
 
 // loadRetired frees a load-window slot, resuming a stalled core or
 // completing a drain.
 func (c *Core) loadRetired() {
-	if c.stalledLoad != nil {
-		op := *c.stalledLoad
-		c.stalledLoad = nil
+	if c.hasStalledLoad {
+		op := c.stalledLoad
+		c.hasStalledLoad = false
 		c.LoadStall += uint64(c.kern.Now() - c.ldStallFrom)
 		c.issueLoadMLP(op)
 		return
@@ -157,28 +187,25 @@ func (c *Core) loadRetired() {
 // immediately unless the buffer is full.
 func (c *Core) issueStore(op workload.Op) {
 	if c.wbUsed >= c.wbCap {
-		op := op
-		c.stalled = &op
+		c.stalled = op
+		c.hasStalled = true
 		c.wbStallFrom = c.kern.Now()
 		return // a store completion resumes us
 	}
 	c.wbUsed++
 	c.Stores++
 	c.Instructions += uint64(op.Compute) + 1
-	c.mem.Access(c.node, c.core, protocol.Store, op.Addr, func() {
-		c.wbUsed--
-		c.storeRetired()
-	})
+	c.mem.Access(c.node, c.core, protocol.Store, op.Addr, c.storeDoneFn)
 	// The store is buffered; the core moves on next cycle.
-	c.kern.After(1, c.step)
+	c.kern.After(1, c.stepFn)
 }
 
 // storeRetired frees a write-buffer slot and resumes a stalled core or
 // completes a drain.
 func (c *Core) storeRetired() {
-	if c.stalled != nil {
-		op := *c.stalled
-		c.stalled = nil
+	if c.hasStalled {
+		op := c.stalled
+		c.hasStalled = false
 		c.WBStall += uint64(c.kern.Now() - c.wbStallFrom)
 		c.issueStore(op)
 		return

@@ -5,6 +5,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"flexsnoop/internal/checker"
@@ -74,6 +75,13 @@ type Experiment struct {
 	// metrics for the run. Telemetry never perturbs simulated timing:
 	// results are identical with it on or off.
 	Telemetry *telemetry.Config
+
+	// Context, when non-nil, allows cancelling the run between simulated
+	// events. A nil or never-cancellable context (Background) costs
+	// nothing: the kernel's interrupt hook is installed only when the
+	// context can actually be cancelled, and an installed-but-quiet hook
+	// leaves the simulation cycle-identical.
+	Context context.Context
 }
 
 // New returns an experiment with Table 4 defaults for an algorithm and
@@ -220,7 +228,16 @@ func Run(exp Experiment) (Result, error) {
 	if max == 0 {
 		max = 2_000_000_000
 	}
+	if ctx := exp.Context; ctx != nil && ctx.Done() != nil {
+		kern.Interrupt = ctx.Err
+	}
 	kern.Run(max)
+	if cerr := kern.Err(); cerr != nil {
+		// Cancelled mid-run: flush whatever telemetry exists, then report
+		// the context's error (matchable with errors.Is).
+		col.Close(kern.Now())
+		return Result{}, fmt.Errorf("machine: run cancelled: %w", cerr)
+	}
 	if err := col.Close(kern.Now()); err != nil {
 		return Result{}, fmt.Errorf("machine: %w", err)
 	}

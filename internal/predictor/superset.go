@@ -15,6 +15,10 @@ type BloomFilter struct {
 	fieldBits []uint
 	shifts    []uint
 	tables    [][]uint16
+	// idx is the per-lookup index scratch buffer; the filter is used from
+	// a single simulation goroutine, so reusing it is safe and keeps
+	// MayContain/Add/Del allocation-free.
+	idx []int
 }
 
 // NewBloomFilter builds a filter from per-field bit widths. Fields consume
@@ -38,11 +42,13 @@ func NewBloomFilter(fieldBits []uint) *BloomFilter {
 }
 
 func (f *BloomFilter) indices(addr cache.LineAddr) []int {
-	idx := make([]int, len(f.tables))
-	for i, bits := range f.fieldBits {
-		idx[i] = int((addr >> f.shifts[i]) & cache.LineAddr(1<<bits-1))
+	if f.idx == nil {
+		f.idx = make([]int, len(f.tables))
 	}
-	return idx
+	for i, bits := range f.fieldBits {
+		f.idx[i] = int((addr >> f.shifts[i]) & cache.LineAddr(1<<bits-1))
+	}
+	return f.idx
 }
 
 // MayContain reports whether the address could be in the tracked set.

@@ -71,6 +71,13 @@ type Engine struct {
 	// serves interval samples (the telemetry layer). Every emit site
 	// guards with a nil check, so the disabled cost is one comparison.
 	tel *telemetry.Collector
+
+	// Free lists (see pool.go). Single-threaded, so plain slices suffice.
+	msgPool ring.Pool
+	txnPool []*txn
+	rsPool  []*ringState
+	ccPool  []*callCtx
+	pcPool  []*pathCtx
 }
 
 // SetTelemetry installs the run's telemetry collector and, when link-hop
@@ -155,9 +162,12 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 		kern:       kern,
 		torus:      interconnect.NewTorus(m.TorusWidth, m.TorusHeight, m.TorusHopCycles, m.DataSerializationCycles, m.NumCMPs),
 		meter:      energy.NewMeter(opts.Energy),
-		versions:   make(map[cache.LineAddr]uint64),
-		byID:       make(map[ring.TxnID]*txn),
-		downgraded: make(map[cache.LineAddr]bool),
+		// Pre-sized for steady-state footprints: maps that rehash mid-run
+		// both allocate and perturb wall time, so start them near their
+		// working-set sizes.
+		versions:   make(map[cache.LineAddr]uint64, 4096),
+		byID:       make(map[ring.TxnID]*txn, 256),
+		downgraded: make(map[cache.LineAddr]bool, 64),
 	}
 	for i := 0; i < m.NumRings; i++ {
 		e.rings = append(e.rings, ring.NewRing(m.NumCMPs, m.RingLinkCycles, ringLinkOccupancyCycles))
@@ -167,9 +177,9 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 			id:          i,
 			e:           e,
 			mem:         memory.NewController(i, m),
-			supplierIdx: make(map[cache.LineAddr]int),
-			outstanding: make(map[cache.LineAddr]*txn),
-			ringStates:  make(map[ring.TxnID]*ringState),
+			supplierIdx: make(map[cache.LineAddr]int, 1024),
+			outstanding: make(map[cache.LineAddr]*txn, 64),
+			ringStates:  make(map[ring.TxnID]*ringState, 64),
 		}
 		for c := 0; c < m.CoresPerCMP; c++ {
 			n.l1 = append(n.l1, cache.NewArray(m.L1))

@@ -57,7 +57,7 @@ func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr,
 		}
 		// Miss in own L2: snoop the local CMP before going to the ring
 		// (Section 2.2).
-		e.kern.After(l2RT, func() { e.localReadPath(nodeID, coreID, addr, age, done, waiters, retries) })
+		e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.ReadSnoop, addr, age, done, waiters, retries))
 		return
 	}
 
@@ -68,32 +68,82 @@ func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr,
 		e.completeAfter(l2RT, done, waiters)
 		return
 	}
-	e.kern.After(l2RT, func() { e.localWritePath(nodeID, coreID, addr, age, done, waiters, retries) })
+	e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.WriteSnoop, addr, age, done, waiters, retries))
+}
+
+// pathCtxFor fills a pooled access-path context.
+func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) *pathCtx {
+	p := e.newPath()
+	p.e, p.node, p.core, p.kind = e, nodeID, coreID, kind
+	p.addr, p.age, p.done, p.waiters, p.retries = addr, age, done, waiters, retries
+	return p
 }
 
 // completeAfter finishes a reference after a fixed latency, waking any
 // piggy-backed waiters.
 func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []func()) {
-	e.kern.After(delay, func() {
+	p := e.newPath()
+	p.e, p.done, p.waiters = e, done, waiters
+	e.kern.AfterArg(delay, doneCall, p)
+}
+
+// localReadBody snoops the CMP-local caches once the intra-CMP bus grants
+// (see localPathCall) and falls back to the ring.
+func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+	n := e.nodes[nodeID]
+	// Re-check own L2: a waiter's earlier fill may have landed.
+	if l := n.l2[coreID].Access(addr); l != nil {
+		e.observe(nodeID, coreID, false, addr, l.Version)
+		n.l1[coreID].Insert(addr, cache.Shared, l.Version)
 		if done != nil {
 			done()
 		}
 		for _, w := range waiters {
 			w()
 		}
-	})
+		return
+	}
+	if sup, ok := e.localSupplier(nodeID, coreID, addr); ok {
+		e.supplyLocal(nodeID, sup, coreID, addr)
+		e.stats.LocalSupplies++
+		if done != nil {
+			done()
+		}
+		for _, w := range waiters {
+			w()
+		}
+		return
+	}
+	t := e.newTxn()
+	t.kind, t.addr, t.node, t.core = ring.ReadSnoop, addr, nodeID, coreID
+	t.age, t.needData, t.done, t.waiters, t.retries = age, true, done, waiters, retries
+	e.issueTxn(t)
 }
 
-// localReadPath snoops the CMP-local caches and falls back to the ring.
-func (e *Engine) localReadPath(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+// localWriteBody resolves store misses and upgrades once the intra-CMP
+// bus grants (see localPathCall).
+func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
 	n := e.nodes[nodeID]
-	start := n.cmpBus.Reserve(e.now(), sim.Time(e.cfg.BusOccupancyCycles))
-	finish := start + sim.Time(e.cfg.IntraCMPBusCycles)
-	e.kern.Schedule(finish, func() {
-		// Re-check own L2: a waiter's earlier fill may have landed.
-		if l := n.l2[coreID].Access(addr); l != nil {
-			e.observe(nodeID, coreID, false, addr, l.Version)
-			n.l1[coreID].Insert(addr, cache.Shared, l.Version)
+	// Re-check own L2 after the bus wait.
+	if l := n.l2[coreID].Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
+		e.performWrite(nodeID, coreID, addr)
+		if done != nil {
+			done()
+		}
+		for _, w := range waiters {
+			w()
+		}
+		return
+	}
+	// Local ownership transfer: another core in this CMP holds the
+	// machine's only copy (E or D) — no ring transaction needed.
+	if owner, ok := n.supplierIdx[addr]; ok && owner != coreID {
+		st := n.l2[owner].Lookup(addr)
+		if st != nil && (st.State == cache.Exclusive || st.State == cache.Dirty) {
+			e.invalidateCoreLine(nodeID, owner, addr)
+			v := e.nextVersion(addr)
+			e.observe(nodeID, coreID, true, addr, v)
+			e.installLine(nodeID, coreID, addr, cache.Dirty, v)
 			if done != nil {
 				done()
 			}
@@ -102,74 +152,20 @@ func (e *Engine) localReadPath(nodeID, coreID int, addr cache.LineAddr, age sim.
 			}
 			return
 		}
-		if sup, ok := e.localSupplier(nodeID, coreID, addr); ok {
-			e.supplyLocal(nodeID, sup, coreID, addr)
-			e.stats.LocalSupplies++
-			if done != nil {
-				done()
-			}
-			for _, w := range waiters {
-				w()
-			}
-			return
+	}
+	// Ring write: upgrade when any CMP-local copy exists, else miss.
+	hasCopy := false
+	for c := range n.l2 {
+		if n.l2[c].Contains(addr) {
+			hasCopy = true
+			break
 		}
-		t := &txn{
-			kind: ring.ReadSnoop, addr: addr, node: nodeID, core: coreID,
-			age: age, needData: true, done: done, waiters: waiters, retries: retries,
-		}
-		e.issueTxn(t)
-	})
-}
-
-// localWritePath resolves store misses and upgrades.
-func (e *Engine) localWritePath(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
-	n := e.nodes[nodeID]
-	start := n.cmpBus.Reserve(e.now(), sim.Time(e.cfg.BusOccupancyCycles))
-	finish := start + sim.Time(e.cfg.IntraCMPBusCycles)
-	e.kern.Schedule(finish, func() {
-		// Re-check own L2 after the bus wait.
-		if l := n.l2[coreID].Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
-			e.performWrite(nodeID, coreID, addr)
-			if done != nil {
-				done()
-			}
-			for _, w := range waiters {
-				w()
-			}
-			return
-		}
-		// Local ownership transfer: another core in this CMP holds the
-		// machine's only copy (E or D) — no ring transaction needed.
-		if owner, ok := n.supplierIdx[addr]; ok && owner != coreID {
-			st := n.l2[owner].Lookup(addr)
-			if st != nil && (st.State == cache.Exclusive || st.State == cache.Dirty) {
-				e.invalidateCoreLine(nodeID, owner, addr)
-				v := e.nextVersion(addr)
-				e.observe(nodeID, coreID, true, addr, v)
-				e.installLine(nodeID, coreID, addr, cache.Dirty, v)
-				if done != nil {
-					done()
-				}
-				for _, w := range waiters {
-					w()
-				}
-				return
-			}
-		}
-		// Ring write: upgrade when any CMP-local copy exists, else miss.
-		hasCopy := false
-		for c := range n.l2 {
-			if n.l2[c].Contains(addr) {
-				hasCopy = true
-				break
-			}
-		}
-		t := &txn{
-			kind: ring.WriteSnoop, addr: addr, node: nodeID, core: coreID,
-			age: age, needData: !hasCopy, upgrade: hasCopy, done: done, waiters: waiters, retries: retries,
-		}
-		e.issueTxn(t)
-	})
+	}
+	t := e.newTxn()
+	t.kind, t.addr, t.node, t.core = ring.WriteSnoop, addr, nodeID, coreID
+	t.age, t.needData, t.upgrade = age, !hasCopy, hasCopy
+	t.done, t.waiters, t.retries = done, waiters, retries
+	e.issueTxn(t)
 }
 
 // localSupplier finds a CMP-local cache able to supply a read (S_L or any

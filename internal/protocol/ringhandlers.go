@@ -85,8 +85,9 @@ func (e *Engine) forwardAt(depart sim.Time, ringIdx, from int, m *ring.Message) 
 	r := e.rings[ringIdx]
 	arrive := r.Send(depart, from, m)
 	e.meter.AddRingLinks(1)
-	to := r.Next(from)
-	e.kern.Schedule(arrive, func() { e.deliver(ringIdx, to, m) })
+	c := e.newCall()
+	c.e, c.ringIdx, c.node, c.m = e, ringIdx, r.Next(from), m
+	e.kern.ScheduleArg(arrive, deliverCall, c)
 }
 
 var debugTxn ring.TxnID
@@ -199,7 +200,7 @@ func (e *Engine) handleReadRequest(ringIdx, nodeID int, m *ring.Message) {
 		st := n.stateForMsg(m)
 		st.mode = modeFTS
 		st.predictedPositive = decision.Predicted
-		reqHalf := m.Clone()
+		reqHalf := e.msgPool.CloneFrom(m)
 		reqHalf.HasReply = false
 		reqHalf.Found = false
 		reqHalf.SharerSeen = false
@@ -207,7 +208,7 @@ func (e *Engine) handleReadRequest(ringIdx, nodeID int, m *ring.Message) {
 		reqHalf.InvAcks = 0
 		e.forwardAt(e.now()+delay, ringIdx, nodeID, reqHalf)
 		if m.HasReply {
-			replyHalf := m.Clone()
+			replyHalf := e.msgPool.CloneFrom(m)
 			replyHalf.HasRequest = false
 			st.replyHalf = replyHalf
 		} else {
@@ -235,7 +236,7 @@ func (e *Engine) handleWriteRequest(ringIdx, nodeID int, m *ring.Message) {
 	st := n.stateForMsg(m)
 	if n.policy.DecoupleWrites() {
 		st.mode = modeFTS
-		reqHalf := m.Clone()
+		reqHalf := e.msgPool.CloneFrom(m)
 		reqHalf.HasReply = false
 		reqHalf.Found = m.Found // writes keep invalidating after a supply
 		reqHalf.SharerSeen = false
@@ -243,7 +244,7 @@ func (e *Engine) handleWriteRequest(ringIdx, nodeID int, m *ring.Message) {
 		reqHalf.InvAcks = 0
 		e.forward(ringIdx, nodeID, reqHalf)
 		if m.HasReply {
-			replyHalf := m.Clone()
+			replyHalf := e.msgPool.CloneFrom(m)
 			replyHalf.HasRequest = false
 			st.replyHalf = replyHalf
 		} else {
@@ -271,7 +272,9 @@ func (e *Engine) scheduleSnoop(ringIdx, nodeID int, m *ring.Message, st *ringSta
 		e.stats.WriteSnoopOps++
 	}
 	e.meter.AddSnoopOp()
-	e.kern.Schedule(finish, func() { e.snoopComplete(ringIdx, nodeID, m, st) })
+	c := e.newCall()
+	c.e, c.ringIdx, c.node, c.m, c.st = e, ringIdx, nodeID, m, st
+	e.kern.ScheduleArg(finish, snoopCall, c)
 }
 
 // snoopComplete applies the snoop outcome and dispatches the reply per
@@ -286,7 +289,14 @@ func (e *Engine) scheduleSnoop(ringIdx, nodeID int, m *ring.Message, st *ringSta
 // snoop there will invalidate the fresh copy (or the requester-side
 // collision rules resolve it).
 func (e *Engine) snoopComplete(ringIdx, nodeID int, m *ring.Message, st *ringState) {
+	mode := st.mode
 	e.snoopOutcome(ringIdx, nodeID, m, st)
+	if mode == modeFTS {
+		// In FTS the request half was cloned and forwarded before the
+		// snoop; m only carried the snoop context and is now dead. (In
+		// STF m is the held message itself and lives on.)
+		e.msgPool.Put(m)
+	}
 }
 
 // snoopOutcome applies the snoop result.
@@ -352,8 +362,9 @@ func (e *Engine) sendData(nodeID int, m *ring.Message, version uint64, ownership
 		e.tel.TxnEvent(e.now(), uint64(m.Txn), "supply", nodeID)
 	}
 	lat := e.torus.Latency(e.now(), nodeID, m.Requester)
-	txn := m.Txn
-	e.kern.After(lat, func() { e.deliverData(txn, version, ownership) })
+	c := e.newCall()
+	c.e, c.id, c.ver, c.dirty = e, m.Txn, version, ownership
+	e.kern.AfterArg(lat, dataCall, c)
 }
 
 // applyLocalOutcome folds the node's snoop outcome into a reply message.
@@ -381,12 +392,12 @@ func (e *Engine) dispatchReply(ringIdx, nodeID int, m *ring.Message, st *ringSta
 		if fastFound {
 			// Send our own reply now; a later upstream reply carries no
 			// new information and is discarded (Table 2).
-			out := &ring.Message{
-				Txn: m.Txn, Kind: m.Kind, Addr: m.Addr, Requester: m.Requester,
-				Age: m.Age, NeedsData: m.NeedsData, HasReply: true,
-			}
+			out := e.msgPool.Get()
+			out.Txn, out.Kind, out.Addr, out.Requester = m.Txn, m.Kind, m.Addr, m.Requester
+			out.Age, out.NeedsData, out.HasReply = m.Age, m.NeedsData, true
 			if st.replyHalf != nil {
 				out.MergeReply(st.replyHalf)
+				e.msgPool.Put(st.replyHalf)
 				st.replyHalf = nil
 			}
 			st.applyLocalOutcome(nodeID, out)
@@ -395,6 +406,7 @@ func (e *Engine) dispatchReply(ringIdx, nodeID int, m *ring.Message, st *ringSta
 			// Drop unless a trailing reply is still due; one that already
 			// arrived (pendingReply) counts as absorbed.
 			if !st.awaitingTrailingReply || st.pendingReply != nil {
+				e.msgPool.Put(st.pendingReply)
 				n.dropState(m.Txn)
 			}
 			return
@@ -425,6 +437,7 @@ func (e *Engine) dispatchReply(ringIdx, nodeID int, m *ring.Message, st *ringSta
 			st.sentOwnReply = true
 			e.forward(ringIdx, nodeID, held)
 			if !st.awaitingTrailingReply || st.pendingReply != nil {
+				e.msgPool.Put(st.pendingReply)
 				n.dropState(m.Txn)
 			}
 			return
@@ -438,6 +451,7 @@ func (e *Engine) dispatchReply(ringIdx, nodeID int, m *ring.Message, st *ringSta
 		if st.pendingReply != nil {
 			held.HasReply = true
 			held.MergeReply(st.pendingReply)
+			e.msgPool.Put(st.pendingReply)
 			st.applyLocalOutcome(nodeID, held)
 			e.forward(ringIdx, nodeID, held)
 			n.dropState(m.Txn)
@@ -460,7 +474,7 @@ func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 	switch st.mode {
 	case modeBlocked:
 		// Queue behind the blocked request so it cannot be overtaken.
-		st.blockedOn.blockedMsgs = append(st.blockedOn.blockedMsgs, &blockedMsg{ringIdx: ringIdx, m: m})
+		st.blockedOn.blockedMsgs = append(st.blockedOn.blockedMsgs, blockedMsg{ringIdx: ringIdx, m: m})
 	case modeSquash:
 		m.Squashed = true
 		n.dropState(m.Txn)
@@ -469,6 +483,7 @@ func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 		if st.sentOwnReply {
 			// Our positive reply already left; this one is stale.
 			n.dropState(m.Txn)
+			e.msgPool.Put(m)
 			return
 		}
 		if st.outcomeReady {
@@ -481,6 +496,7 @@ func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 	case modeSTF:
 		if st.sentOwnReply {
 			n.dropState(m.Txn)
+			e.msgPool.Put(m)
 			return
 		}
 		if st.outcomeReady {
@@ -490,6 +506,7 @@ func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 			st.applyLocalOutcome(nodeID, held)
 			n.dropState(m.Txn)
 			e.forward(ringIdx, nodeID, held)
+			e.msgPool.Put(m)
 			return
 		}
 		st.pendingReply = m
@@ -567,7 +584,7 @@ func (e *Engine) handleCollision(ringIdx, nodeID int, m *ring.Message) (blocked 
 			st.mode = modeBlocked
 			st.blockedOn = own
 		}
-		own.blockedMsgs = append(own.blockedMsgs, &blockedMsg{ringIdx: ringIdx, m: m})
+		own.blockedMsgs = append(own.blockedMsgs, blockedMsg{ringIdx: ringIdx, m: m})
 		return true
 	}
 	if own.installed {
@@ -590,7 +607,7 @@ func (e *Engine) handleCollision(ringIdx, nodeID int, m *ring.Message) (blocked 
 func (n *node) stateFor(id ring.TxnID) *ringState {
 	st, ok := n.ringStates[id]
 	if !ok {
-		st = &ringState{}
+		st = n.e.newRingState()
 		n.ringStates[id] = st
 	}
 	return st
@@ -604,7 +621,14 @@ func (n *node) stateForMsg(m *ring.Message) *ringState {
 	return st
 }
 
-func (n *node) dropState(id ring.TxnID) { delete(n.ringStates, id) }
+// dropState releases a transaction's bookkeeping back to the free list.
+// Callers must be done with the record and any messages it still holds.
+func (n *node) dropState(id ring.TxnID) {
+	if st, ok := n.ringStates[id]; ok {
+		delete(n.ringStates, id)
+		n.e.rsPool = append(n.e.rsPool, st)
+	}
+}
 
 // SetDebugTxn enables message-flow tracing for one transaction id (tests).
 func SetDebugTxn(id ring.TxnID) { debugTxn = id }

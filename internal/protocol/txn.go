@@ -61,7 +61,7 @@ type txn struct {
 
 	// blockedMsgs holds colliding ring messages delayed until this
 	// write's in-limbo data is installed (see handleCollision).
-	blockedMsgs []*blockedMsg
+	blockedMsgs []blockedMsg
 
 	retries int
 }
@@ -131,18 +131,12 @@ func (e *Engine) launch(t *txn) {
 		e.stats.WriteRequests++
 	}
 
-	m := &ring.Message{
-		Txn:       t.id,
-		Kind:      t.kind,
-		Addr:      t.addr,
-		Requester: t.node,
-		Age:       t.age,
-		// The request and reply travel together on the first segment
-		// (Figure 3(b)).
-		HasRequest: true,
-		HasReply:   true,
-		NeedsData:  t.kind == ring.WriteSnoop && t.needData,
-	}
+	m := e.msgPool.Get()
+	m.Txn, m.Kind, m.Addr, m.Requester, m.Age = t.id, t.kind, t.addr, t.node, t.age
+	// The request and reply travel together on the first segment
+	// (Figure 3(b)).
+	m.HasRequest, m.HasReply = true, true
+	m.NeedsData = t.kind == ring.WriteSnoop && t.needData
 	e.forward(ringFor(t.addr, e.cfg.NumRings), t.node, m)
 }
 
@@ -181,6 +175,9 @@ func (e *Engine) squashLocal(t *txn) {
 // consumeReturn processes a message that has circled back to its
 // requester.
 func (e *Engine) consumeReturn(ringIdx int, m *ring.Message) {
+	// The requester is the message's last stop either way: recycle it once
+	// its contents are folded into the transaction.
+	defer e.msgPool.Put(m)
 	t, ok := e.byID[m.Txn]
 	if !ok {
 		return // straggler for an already-retired transaction
@@ -431,53 +428,62 @@ func (e *Engine) startMemoryRead(t *txn) {
 		e.meter.AddExtraMemAccess()
 		e.stats.DowngradeRereads++
 	}
-	e.kern.After(rt, func() {
-		version := home.mem.Version(t.addr)
-		e.lineTrace(t.addr, "memData txn %d (n%d) v%d squashed=%v sharedGrant=%v", t.id, t.node, version, t.squashed, t.sharedGrant)
-		if t.retired {
-			return
-		}
-		if t.squashed {
-			t.dataArrived = true
-			t.dataVersion = version
-			e.finishSquashed(t)
-			return
-		}
+	c := e.newCall()
+	c.e, c.t = e, t
+	e.kern.AfterArg(rt, memReadCall, c)
+}
+
+// memReadDone completes a transaction's memory phase. While a transaction
+// is in memPhase every other completion path is gated off (onReplyComplete
+// returns early; no data transfer is in flight), so only this callback can
+// retire it — which is what makes recycling retired transactions safe.
+func (e *Engine) memReadDone(t *txn) {
+	home := e.nodes[e.homeOf(t.addr)]
+	version := home.mem.Version(t.addr)
+	e.lineTrace(t.addr, "memData txn %d (n%d) v%d squashed=%v sharedGrant=%v", t.id, t.node, version, t.squashed, t.sharedGrant)
+	if t.retired {
+		return
+	}
+	if t.squashed {
 		t.dataArrived = true
 		t.dataVersion = version
-		e.stats.MemorySupplies++
-		if t.kind == ring.ReadSnoop {
-			// The ring circuit never snoops the requester's own CMP: a
-			// sibling core may hold a plain-S copy only it knows about.
-			localSharer := false
-			for c := range e.nodes[t.node].l2 {
-				if c != t.core && e.nodes[t.node].l2[c].Contains(t.addr) {
-					localSharer = true
-					break
-				}
+		e.finishSquashed(t)
+		return
+	}
+	t.dataArrived = true
+	t.dataVersion = version
+	e.stats.MemorySupplies++
+	if t.kind == ring.ReadSnoop {
+		// The ring circuit never snoops the requester's own CMP: a
+		// sibling core may hold a plain-S copy only it knows about.
+		localSharer := false
+		for c := range e.nodes[t.node].l2 {
+			if c != t.core && e.nodes[t.node].l2[c].Contains(t.addr) {
+				localSharer = true
+				break
 			}
-			st := cache.SharedGlobal
-			switch {
-			case t.sharedGrant:
-				// A concurrent read crossed us: neither may become a
-				// master; memory keeps supplying this line, and the
-				// home remembers the masterless copies.
-				st = cache.Shared
-				home.mem.MarkShared(t.addr)
-			case !t.sharerSeen && !localSharer && !home.mem.SharedMarked(t.addr):
-				// No sharer among the snooped nodes, none in our own
-				// CMP, and the home guarantees no masterless sharers
-				// hide at filtered nodes (every plain-S-without-master
-				// path sets the home's mark): Exclusive is safe even
-				// though filtering algorithms snooped only a subset.
-				st = cache.Exclusive
-			}
-			e.installRead(t, st, version)
-		} else {
-			e.installWrite(t)
 		}
-		e.retire(t)
-	})
+		st := cache.SharedGlobal
+		switch {
+		case t.sharedGrant:
+			// A concurrent read crossed us: neither may become a
+			// master; memory keeps supplying this line, and the
+			// home remembers the masterless copies.
+			st = cache.Shared
+			home.mem.MarkShared(t.addr)
+		case !t.sharerSeen && !localSharer && !home.mem.SharedMarked(t.addr):
+			// No sharer among the snooped nodes, none in our own
+			// CMP, and the home guarantees no masterless sharers
+			// hide at filtered nodes (every plain-S-without-master
+			// path sets the home's mark): Exclusive is safe even
+			// though filtering algorithms snooped only a subset.
+			st = cache.Exclusive
+		}
+		e.installRead(t, st, version)
+	} else {
+		e.installWrite(t)
+	}
+	e.retire(t)
 }
 
 // msgAllSnooped reports whether every node except the requester snooped.
@@ -536,6 +542,9 @@ func (e *Engine) retire(t *txn) {
 		e.kern.After(1, func() { e.restart(next) })
 	}
 	e.maybeCheck()
+	// All references are gone: byID/outstanding entries deleted, waiters
+	// drained, blocked messages redelivered. Recycle the record.
+	e.freeTxn(t)
 }
 
 // nextVersion stamps a new global write generation for the line.

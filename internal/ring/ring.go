@@ -201,3 +201,48 @@ func Select(addr cache.LineAddr, nrings int) int {
 	}
 	return int(addr % cache.LineAddr(nrings))
 }
+
+// Pool recycles Message records so the protocol engine's steady state
+// allocates no messages. Ownership rule: exactly one party owns a message
+// at any moment — whoever holds it last (the node that consumes, merges,
+// or drops it) must Put it back; a message that has been forwarded or
+// parked as protocol state belongs to its new holder and must not be
+// recycled by the sender. Get zeroes the record, so stale handles can
+// never leak reply state into a new transaction.
+type Pool struct {
+	free []*Message
+}
+
+// Get returns a zeroed message, reusing recycled storage when available.
+func (p *Pool) Get() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		*m = Message{}
+		return m
+	}
+	slab := make([]Message, 64)
+	for i := 1; i < len(slab); i++ {
+		p.free = append(p.free, &slab[i])
+	}
+	return &slab[0]
+}
+
+// Put returns a message to the pool. The caller must hold the only live
+// reference; nil is ignored.
+func (p *Pool) Put(m *Message) {
+	if m == nil {
+		return
+	}
+	p.free = append(p.free, m)
+}
+
+// CloneFrom returns a pooled copy of m (the allocation-free Clone).
+func (p *Pool) CloneFrom(m *Message) *Message {
+	c := p.Get()
+	*c = *m
+	return c
+}
+
+// Free reports the pool's free-list depth (observability for tests).
+func (p *Pool) Free() int { return len(p.free) }

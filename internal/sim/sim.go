@@ -5,6 +5,12 @@
 // number). Events scheduled for the same cycle execute in the order they
 // were scheduled, which makes every simulation fully deterministic for a
 // fixed configuration and seed.
+//
+// Events are slab-allocated and recycled through a kernel-owned free list:
+// steady-state simulation schedules millions of events without growing the
+// heap. Because a fired event's storage is reused, Schedule returns a
+// Handle (pointer + generation) rather than a raw pointer; cancelling a
+// stale handle is a safe no-op.
 package sim
 
 import (
@@ -19,17 +25,47 @@ type Time uint64
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(math.MaxUint64)
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Its storage is owned by the kernel and
+// recycled after the event fires; hold a Handle, not an *Event.
 type Event struct {
-	when  Time
-	seq   uint64
+	when Time
+	seq  uint64
+
+	// Exactly one of fn / argFn is set. The argFn+arg form lets hot
+	// callers schedule a package-level function with a pooled argument,
+	// avoiding a closure allocation per event.
 	fn    func()
-	index int // heap index; -1 once popped or cancelled
-	dead  bool
+	argFn func(any)
+	arg   any
+
+	index int    // heap index; -1 once popped or cancelled
+	gen   uint32 // bumped on recycle; validates Handles
 }
 
 // When returns the cycle at which the event fires.
 func (e *Event) When() Time { return e.when }
+
+// Handle identifies one scheduled firing of an event. The zero Handle is
+// valid and refers to nothing. A Handle goes stale once its event fires,
+// is cancelled, or the kernel recycles the storage; Cancel on a stale
+// handle is a no-op.
+type Handle struct {
+	e   *Event
+	gen uint32
+}
+
+// Pending reports whether the handle still refers to a scheduled event.
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
+}
+
+// When returns the firing cycle of a pending handle, or 0 for a stale one.
+func (h Handle) When() Time {
+	if !h.Pending() {
+		return 0
+	}
+	return h.e.when
+}
 
 // eventQueue implements heap.Interface over pending events.
 type eventQueue []*Event
@@ -65,6 +101,16 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// eventSlabSize is how many events one slab allocation provides. Slabs
+// amortize allocator and GC pressure: a draining simulation reaches a
+// steady state where every Schedule is served from the free list.
+const eventSlabSize = 256
+
+// interruptStride is how many executed events pass between Interrupt
+// polls: rare enough to cost nothing, frequent enough that cancellation
+// latency stays in the microsecond range.
+const interruptStride = 64
+
 // Kernel is a discrete-event simulator.
 //
 // The zero value is not usable; call NewKernel.
@@ -72,7 +118,9 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*Event
 	stopped bool
+	intErr  error
 
 	// Executed counts events that have run to completion.
 	Executed uint64
@@ -85,6 +133,13 @@ type Kernel struct {
 	// check per event is the only cost when telemetry is disabled. The
 	// probe must not schedule events or otherwise perturb the run.
 	Probe func(now Time)
+
+	// Interrupt, when non-nil, is polled between events (every
+	// interruptStride executions). A non-nil return makes Run stop
+	// before the next event; the error is kept and reported by Err.
+	// The poll never perturbs simulated time, so a run that is not
+	// interrupted is cycle-identical to one with no Interrupt installed.
+	Interrupt func() error
 }
 
 // NewKernel returns an empty kernel at cycle zero.
@@ -95,74 +150,141 @@ func NewKernel() *Kernel {
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Schedule runs fn at the given absolute cycle. Scheduling in the past
-// (before Now) panics: it would silently corrupt causality.
-func (k *Kernel) Schedule(at Time, fn func()) *Event {
+// Err returns the error that interrupted Run, if any.
+func (k *Kernel) Err() error { return k.intErr }
+
+// alloc takes an event from the free list, growing it by one slab when
+// empty.
+func (k *Kernel) alloc() *Event {
+	if len(k.free) == 0 {
+		slab := make([]Event, eventSlabSize)
+		for i := range slab {
+			k.free = append(k.free, &slab[i])
+		}
+	}
+	e := k.free[len(k.free)-1]
+	k.free = k.free[:len(k.free)-1]
+	return e
+}
+
+// recycle returns a fired or cancelled event to the free list, bumping its
+// generation so stale Handles cannot reach the next occupant.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.gen++
+	k.free = append(k.free, e)
+}
+
+func (k *Kernel) push(e *Event, at Time) Handle {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, k.now))
 	}
-	if fn == nil {
-		panic("sim: nil event function")
-	}
-	e := &Event{when: at, seq: k.seq, fn: fn}
+	e.when = at
+	e.seq = k.seq
 	k.seq++
 	heap.Push(&k.queue, e)
 	if len(k.queue) > k.MaxPending {
 		k.MaxPending = len(k.queue)
 	}
-	return e
+	return Handle{e: e, gen: e.gen}
+}
+
+// Schedule runs fn at the given absolute cycle. Scheduling in the past
+// (before Now) panics: it would silently corrupt causality.
+func (k *Kernel) Schedule(at Time, fn func()) Handle {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := k.alloc()
+	e.fn = fn
+	return k.push(e, at)
+}
+
+// ScheduleArg runs fn(arg) at the given absolute cycle. When fn is a
+// package-level function value and arg is a pooled pointer, the call
+// allocates nothing: this is the hot-path alternative to wrapping both in
+// a fresh closure per event.
+func (k *Kernel) ScheduleArg(at Time, fn func(any), arg any) Handle {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := k.alloc()
+	e.argFn = fn
+	e.arg = arg
+	return k.push(e, at)
 }
 
 // After runs fn delay cycles from now.
-func (k *Kernel) After(delay Time, fn func()) *Event {
+func (k *Kernel) After(delay Time, fn func()) Handle {
 	return k.Schedule(k.now+delay, fn)
 }
 
-// Cancel prevents a pending event from running. Cancelling an event that
-// already ran (or was already cancelled) is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.dead {
+// AfterArg runs fn(arg) delay cycles from now (see ScheduleArg).
+func (k *Kernel) AfterArg(delay Time, fn func(any), arg any) Handle {
+	return k.ScheduleArg(k.now+delay, fn, arg)
+}
+
+// Cancel prevents a pending event from running. Cancelling a stale handle
+// (already fired, already cancelled, or zero) is a no-op.
+func (k *Kernel) Cancel(h Handle) {
+	if !h.Pending() {
 		return
 	}
-	e.dead = true
-	if e.index >= 0 {
-		heap.Remove(&k.queue, e.index)
-	}
+	heap.Remove(&k.queue, h.e.index)
+	k.recycle(h.e)
 }
 
 // Pending reports the number of events waiting to run.
 func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// FreeEvents reports the free-list depth (observability for the slab
+// allocator; steady-state simulations stop growing it).
+func (k *Kernel) FreeEvents() int { return len(k.free) }
 
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step executes the single next event, if any, and reports whether one ran.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.dead {
-			continue
-		}
-		e.dead = true
-		k.now = e.when
-		e.fn()
-		k.Executed++
-		if k.Probe != nil {
-			k.Probe(k.now)
-		}
-		return true
+	if k.queue.Len() == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&k.queue).(*Event)
+	k.now = e.when
+	fn, argFn, arg := e.fn, e.argFn, e.arg
+	k.recycle(e)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+	k.Executed++
+	if k.Probe != nil {
+		k.Probe(k.now)
+	}
+	return true
 }
 
-// Run executes events until the queue drains, Stop is called, or the
-// simulated clock passes limit. It returns the time of the last executed
-// event.
+// Run executes events until the queue drains, Stop is called, the
+// simulated clock passes limit, or the Interrupt hook reports an error. It
+// returns the time of the last executed event.
 func (k *Kernel) Run(limit Time) Time {
 	k.stopped = false
+	sinceCheck := uint64(0)
 	for !k.stopped && k.queue.Len() > 0 {
 		if next := k.queue[0].when; next > limit {
 			break
+		}
+		if k.Interrupt != nil {
+			if sinceCheck++; sinceCheck >= interruptStride {
+				sinceCheck = 0
+				if err := k.Interrupt(); err != nil {
+					k.intErr = err
+					break
+				}
+			}
 		}
 		k.Step()
 	}

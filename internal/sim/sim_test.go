@@ -91,9 +91,118 @@ func TestCancel(t *testing.T) {
 	k.Cancel(e2)
 }
 
-func TestCancelNil(t *testing.T) {
-	NewKernel().Cancel(nil) // must not panic
+func TestCancelZeroHandle(t *testing.T) {
+	NewKernel().Cancel(Handle{}) // must not panic
 }
+
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	// After an event fires, its storage is recycled; a stale handle must
+	// not be able to cancel the next occupant.
+	k := NewKernel()
+	h := k.Schedule(1, func() {})
+	k.RunAll()
+	if h.Pending() {
+		t.Fatal("handle still pending after its event ran")
+	}
+	ran := false
+	h2 := k.Schedule(k.Now()+1, func() { ran = true })
+	k.Cancel(h) // stale: must not touch the recycled slot
+	k.RunAll()
+	if !ran {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if h2.Pending() {
+		t.Fatal("fired event's handle still pending")
+	}
+}
+
+func TestEventStorageIsRecycled(t *testing.T) {
+	// A schedule/run steady state must stop allocating: the free list
+	// serves every request once primed.
+	k := NewKernel()
+	for i := 0; i < 10_000; i++ {
+		k.Schedule(k.Now(), func() {})
+		k.Step()
+	}
+	if free := k.FreeEvents(); free > 2*eventSlabSize {
+		t.Errorf("free list grew to %d events; recycling is not steady-state", free)
+	}
+}
+
+func TestScheduleArg(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	k.ScheduleArg(5, fn, 1)
+	k.AfterArg(2, fn, 2)
+	k.RunAll()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("ScheduleArg order/args wrong: %v", got)
+	}
+}
+
+func TestInterruptStopsRun(t *testing.T) {
+	k := NewKernel()
+	stop := false
+	stopErr := errTest("interrupted")
+	k.Interrupt = func() error {
+		if stop {
+			return stopErr
+		}
+		return nil
+	}
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 1000 {
+			stop = true
+		}
+		k.After(1, tick)
+	}
+	k.Schedule(0, tick)
+	k.RunAll()
+	if k.Err() != stopErr {
+		t.Fatalf("Err = %v, want %v", k.Err(), stopErr)
+	}
+	// The interrupt is polled every interruptStride events, so the run
+	// must stop promptly after the flag flips.
+	if count < 1000 || count > 1000+interruptStride {
+		t.Fatalf("interrupt was not prompt: %d events ran", count)
+	}
+	if k.Pending() == 0 {
+		t.Fatal("interrupted run drained the queue")
+	}
+}
+
+func TestNilInterruptIdenticalSchedule(t *testing.T) {
+	// An installed-but-never-firing Interrupt must not change what runs.
+	run := func(withInterrupt bool) (times []Time, executed uint64) {
+		k := NewKernel()
+		if withInterrupt {
+			k.Interrupt = func() error { return nil }
+		}
+		for i := 0; i < 300; i++ {
+			k.Schedule(Time(i*3%71), func() { times = append(times, k.Now()) })
+		}
+		k.RunAll()
+		return times, k.Executed
+	}
+	a, ea := run(false)
+	b, eb := run(true)
+	if ea != eb || len(a) != len(b) {
+		t.Fatalf("interrupt perturbed execution: %d/%d events", ea, eb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d at %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
 
 func TestRunLimit(t *testing.T) {
 	k := NewKernel()
@@ -209,7 +318,7 @@ func TestPropertyOrdering(t *testing.T) {
 func TestRandomCancellation(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	k := NewKernel()
-	var events []*Event
+	var events []Handle
 	ran := map[int]bool{}
 	for i := 0; i < 500; i++ {
 		i := i

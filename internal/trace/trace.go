@@ -16,12 +16,17 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"flexsnoop/internal/cache"
 	"flexsnoop/internal/workload"
 )
+
+// ErrBadTrace is returned (wrapped) by Read for any malformed, truncated
+// or unsupported trace; match it with errors.Is.
+var ErrBadTrace = errors.New("trace: bad trace")
 
 const (
 	magic   = uint32(0x46535452) // "FSTR"
@@ -73,31 +78,31 @@ func Read(r io.Reader) ([][]workload.Op, error) {
 	br := bufio.NewReader(r)
 	var m uint32
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadTrace, err)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %#x", m)
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadTrace, m)
 	}
 	var v uint16
 	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reading version: %v", ErrBadTrace, err)
 	}
 	if v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
 	}
 	var nstreams uint16
 	if err := binary.Read(br, binary.LittleEndian, &nstreams); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reading stream count: %v", ErrBadTrace, err)
 	}
 	streams := make([][]workload.Op, nstreams)
 	for i := range streams {
 		var count uint64
 		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: stream %d count: %v", ErrBadTrace, i, err)
 		}
 		const sane = 1 << 32
 		if count > sane {
-			return nil, fmt.Errorf("trace: stream %d claims %d ops", i, count)
+			return nil, fmt.Errorf("%w: stream %d claims %d ops", ErrBadTrace, i, count)
 		}
 		// Never preallocate by the untrusted count: a hostile header
 		// could demand gigabytes. Seed a small capacity and let append
@@ -111,10 +116,10 @@ func Read(r io.Reader) ([][]workload.Op, error) {
 			var compute uint32
 			var packed uint64
 			if err := binary.Read(br, binary.LittleEndian, &compute); err != nil {
-				return nil, fmt.Errorf("trace: stream %d op %d: %w", i, j, err)
+				return nil, fmt.Errorf("%w: stream %d op %d: %v", ErrBadTrace, i, j, err)
 			}
 			if err := binary.Read(br, binary.LittleEndian, &packed); err != nil {
-				return nil, fmt.Errorf("trace: stream %d op %d: %w", i, j, err)
+				return nil, fmt.Errorf("%w: stream %d op %d: %v", ErrBadTrace, i, j, err)
 			}
 			ops = append(ops, workload.Op{
 				Compute: compute,

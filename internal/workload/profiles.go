@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Profiles returns every named workload of the evaluation: the 11 SPLASH-2
 // applications run in Section 5.1 (all except Volrend), SPECjbb and
@@ -83,6 +86,10 @@ func SPECwebProfile() Profile {
 	}
 }
 
+// ErrUnknown is returned (wrapped) by ByName for unrecognized profile
+// names; match it with errors.Is.
+var ErrUnknown = errors.New("workload: unknown profile")
+
 // ByName returns the named profile.
 func ByName(name string) (Profile, error) {
 	for _, p := range Profiles() {
@@ -90,7 +97,7 @@ func ByName(name string) (Profile, error) {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+	return Profile{}, fmt.Errorf("%w %q", ErrUnknown, name)
 }
 
 // ClassProfiles returns the profiles of one reporting class.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -261,5 +262,28 @@ func TestPropertyGeneratorBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGeneratorNextIsAllocFree(t *testing.T) {
+	// The generator runs once per instruction on the simulation hot path:
+	// it must not allocate per op.
+	for _, p := range Profiles() {
+		g := NewGenerator(p, 0, 1<<20, 42)
+		allocs := testing.AllocsPerRun(5000, func() {
+			if _, ok := g.Next(); !ok {
+				t.Fatal("generator ran dry mid-measurement")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Next allocates %.1f per op; want 0", p.Name, allocs)
+		}
+	}
+}
+
+func TestByNameUnknownIsSentinel(t *testing.T) {
+	_, err := ByName("no-such-workload")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("ByName error %v is not ErrUnknown", err)
 	}
 }
