@@ -145,6 +145,11 @@ type Options struct {
 	// never perturbs the simulation: results are cycle-identical with it
 	// on or off.
 	Telemetry *TelemetryOptions
+	// ShardRings arbitrates the per-ring transmit batches of each cycle
+	// on worker goroutines instead of inline. Results are cycle-identical
+	// with it on or off: side effects merge in a fixed ring-index order.
+	// It only helps on machines embedding more than one ring.
+	ShardRings bool
 	// Tweak, when non-nil, receives the machine configuration for
 	// arbitrary adjustments before the run.
 	Tweak func(*MachineConfig)
@@ -252,6 +257,7 @@ func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experim
 		exp.WarmupCycles = sim.Time(opts.WarmupCycles)
 	}
 	exp.Telemetry = opts.Telemetry
+	exp.ShardRings = opts.ShardRings
 	if opts.Tweak != nil {
 		opts.Tweak(&exp.Machine)
 	}

@@ -23,6 +23,12 @@ type BenchConfig struct {
 	// Scenarios, when non-empty, restricts the run to the named
 	// scenarios (see BenchScenarios).
 	Scenarios []string
+	// ShardRings enables Options.ShardRings for the simulation scenarios
+	// (recorded in the artifact so numbers are compared like for like).
+	ShardRings bool
+	// GitCommit, when non-empty, is recorded in the artifact (cmd/bench
+	// fills it from `git rev-parse`).
+	GitCommit string
 }
 
 // BenchResult records one scenario's measurement. Allocation numbers come
@@ -41,9 +47,14 @@ type BenchResult struct {
 }
 
 // BenchSuite is the BENCH_<pr>.json document: the full scenario set from
-// one RunBenchSuite call.
+// one RunBenchSuite call, plus the environment that produced it (git
+// commit, GOMAXPROCS and the ShardRings mode), so artifacts from
+// different PRs are compared like for like.
 type BenchSuite struct {
 	GoVersion   string        `json:"go_version"`
+	GitCommit   string        `json:"git_commit,omitempty"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	ShardRings  bool          `json:"shard_rings"`
 	Short       bool          `json:"short"`
 	GeneratedAt string        `json:"generated_at"`
 	Results     []BenchResult `json:"results"`
@@ -66,7 +77,7 @@ type benchScenario struct {
 	name  string
 	ops   uint64 // reference count per core at full size
 	fixed bool   // ops not halved in Short mode
-	setup func(ops uint64) (func() (uint64, error), func(), error)
+	setup func(ops uint64, shard bool) (func() (uint64, error), func(), error)
 }
 
 // benchScenarios returns the fixed scenario set, in run order.
@@ -78,8 +89,8 @@ func benchScenarios() []benchScenario {
 			// This is the suite's headline allocs/op number, so its
 			// size is fixed across Short and full runs.
 			name: "matrix-subset", ops: 800, fixed: true,
-			setup: func(ops uint64) (func() (uint64, error), func(), error) {
-				opts := FigureOptions{OpsPerCore: ops, Seed: 1, Apps: []string{"barnes", "fft"}}
+			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
+				opts := FigureOptions{OpsPerCore: ops, Seed: 1, Apps: []string{"barnes", "fft"}, ShardRings: shard}
 				return func() (uint64, error) {
 					m, err := RunMatrix(opts)
 					if err != nil {
@@ -98,9 +109,9 @@ func benchScenarios() []benchScenario {
 		{
 			// The largest machine of the scaling study: one 16-CMP run.
 			name: "scaling-16cmp", ops: 600,
-			setup: func(ops uint64) (func() (uint64, error), func(), error) {
+			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
 				opts := Options{
-					OpsPerCore: ops, Seed: 1,
+					OpsPerCore: ops, Seed: 1, ShardRings: shard,
 					Tweak: func(m *MachineConfig) {
 						m.NumCMPs = 16
 						m.TorusWidth, m.TorusHeight = 4, 4
@@ -119,7 +130,7 @@ func benchScenarios() []benchScenario {
 			// Trace-driven mode: replay a recorded SPECjbb trace. The
 			// trace is written once, outside the measured region.
 			name: "trace-replay", ops: 1000,
-			setup: func(ops uint64) (func() (uint64, error), func(), error) {
+			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
 				dir, err := os.MkdirTemp("", "flexsnoop-bench")
 				if err != nil {
 					return nil, nil, err
@@ -130,7 +141,7 @@ func benchScenarios() []benchScenario {
 					return nil, nil, err
 				}
 				body := func() (uint64, error) {
-					res, err := RunTraceFile(Eager, path, Options{})
+					res, err := RunTraceFile(Eager, path, Options{ShardRings: shard})
 					if err != nil {
 						return 0, err
 					}
@@ -161,6 +172,9 @@ func RunBenchSuite(cfg BenchConfig) (*BenchSuite, error) {
 	}
 	suite := &BenchSuite{
 		GoVersion:   runtime.Version(),
+		GitCommit:   cfg.GitCommit,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		ShardRings:  cfg.ShardRings,
 		Short:       cfg.Short,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
@@ -172,7 +186,7 @@ func RunBenchSuite(cfg BenchConfig) (*BenchSuite, error) {
 		if cfg.Short && !sc.fixed {
 			ops /= 2
 		}
-		body, cleanup, err := sc.setup(ops)
+		body, cleanup, err := sc.setup(ops, cfg.ShardRings)
 		if err != nil {
 			return nil, fmt.Errorf("flexsnoop: bench %s setup: %w", sc.name, err)
 		}

@@ -1,11 +1,12 @@
 #!/bin/sh
 # ci.sh — the repository's tier-1 gate. Every PR must keep this green.
 #
-#   ./ci.sh        vet + build + full test suite + race-detector pass
+#   ./ci.sh        vet + build + full test suite + race-detector passes
 #
-# The race pass re-runs the library and root tests (including the
-# telemetry determinism tests) under -race, catching any data race a
-# future parallel driver or telemetry probe might introduce.
+# The race passes re-run the library and root tests (including the
+# telemetry determinism tests) under -race, plus a short-mode pass over
+# the sharded-ring determinism tests, catching any data race a parallel
+# driver, shard worker or telemetry probe might introduce.
 set -eu
 cd "$(dirname "$0")"
 
@@ -21,9 +22,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./internal/... .
 
+echo "== go test -race -run Shard (short) =="
+go test -race -short -run Shard ./internal/...
+
 echo "== bench (short) =="
-# Record this PR's benchmark numbers; cmd/bench prints a comparison
-# against the newest prior BENCH_*.json when one exists.
-go run ./cmd/bench -short -out BENCH_2.json
+# Record this PR's benchmark numbers; cmd/bench prints comparisons
+# against every prior BENCH_*.json and fails on a >25% throughput
+# regression versus the newest one.
+go run ./cmd/bench -short -maxregress 25 -out BENCH_3.json
 
 echo "CI OK"

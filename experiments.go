@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"flexsnoop/internal/config"
@@ -43,6 +44,9 @@ type FigureOptions struct {
 	// simulations stop between events, and no further jobs launch. A nil
 	// or Background context costs nothing.
 	Context context.Context
+	// ShardRings enables Options.ShardRings for every simulation the
+	// driver runs (cycle-identical results; see Options.ShardRings).
+	ShardRings bool
 }
 
 // ctx returns the driver's context, defaulting to Background.
@@ -69,17 +73,36 @@ func (o FigureOptions) withDefaults() FigureOptions {
 	return o
 }
 
+// poolJob is one unit of work for runPoolContext. A non-empty label is
+// attached to the job's goroutine as a pprof label ("scenario"), so a CPU
+// profile of a figure driver attributes time per simulated cell.
+type poolJob struct {
+	label string
+	run   func() error
+}
+
+// plainJobs wraps bare functions as unlabelled pool jobs.
+func plainJobs(fns []func() error) []poolJob {
+	jobs := make([]poolJob, len(fns))
+	for i, fn := range fns {
+		jobs[i] = poolJob{run: fn}
+	}
+	return jobs
+}
+
 // runPool executes independent simulation jobs with bounded parallelism.
 // After the first failure no further jobs are launched (already-running
 // jobs finish); every failure is reported, joined with errors.Join.
 func runPool(parallelism int, jobs []func() error) error {
-	return runPoolContext(context.Background(), parallelism, jobs)
+	return runPoolContext(context.Background(), parallelism, plainJobs(jobs))
 }
 
 // runPoolContext is runPool with cancellation: once ctx is done, no
 // further jobs launch (in-flight jobs observe ctx themselves) and the
-// context's error joins the result.
-func runPoolContext(ctx context.Context, parallelism int, jobs []func() error) error {
+// context's error joins the result. Cancellation wins deterministically:
+// whenever ctx is done by the time the pool drains, the returned error
+// matches errors.Is(err, ctx.Err()), even if a job error raced it.
+func runPoolContext(ctx context.Context, parallelism int, jobs []poolJob) error {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -87,6 +110,7 @@ func runPoolContext(ctx context.Context, parallelism int, jobs []func() error) e
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var errs []error
+	ctxJoined := false
 	failed := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
@@ -101,6 +125,7 @@ func runPoolContext(ctx context.Context, parallelism int, jobs []func() error) e
 			<-sem
 			mu.Lock()
 			errs = append(errs, err)
+			ctxJoined = true
 			mu.Unlock()
 			break
 		}
@@ -113,14 +138,27 @@ func runPoolContext(ctx context.Context, parallelism int, jobs []func() error) e
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if err := job(); err != nil {
-				mu.Lock()
-				errs = append(errs, err)
-				mu.Unlock()
+			run := func() {
+				if err := job.run(); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
 			}
+			if job.label == "" {
+				run()
+				return
+			}
+			pprof.Do(ctx, pprof.Labels("scenario", job.label), func(context.Context) { run() })
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil && !ctxJoined {
+		// The context was cancelled after the launch loop had already
+		// finished (or a job error raced the cancellation): join the
+		// context error so callers observe it deterministically.
+		errs = append(errs, err)
+	}
 	return errors.Join(errs...)
 }
 
@@ -174,7 +212,7 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 		m.splash = append(m.splash, p.Name)
 	}
 	var mu sync.Mutex
-	var jobs []func() error
+	var jobs []poolJob
 	for _, alg := range o.Algorithms {
 		m.results[alg] = map[string]Result{}
 		for _, prof := range profiles {
@@ -183,8 +221,8 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 			if o.TelemetryFor != nil {
 				tel = o.TelemetryFor(alg, prof.Name)
 			}
-			jobs = append(jobs, func() error {
-				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel})
+			jobs = append(jobs, poolJob{label: fmt.Sprintf("%v/%s", alg, prof.Name), run: func() error {
+				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel, ShardRings: o.ShardRings})
 				if err != nil {
 					return fmt.Errorf("flexsnoop: %v on %s: %w", alg, prof.Name, err)
 				}
@@ -196,7 +234,7 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 						alg, prof.Name, res.Cycles, res.Stats.SnoopsPerReadRequest()))
 				}
 				return nil
-			})
+			}})
 		}
 	}
 	if err := runPoolContext(o.ctx(), o.Parallelism, jobs); err != nil {
@@ -407,13 +445,13 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 	}
 	results := map[cellKey]Result{}
 	var mu sync.Mutex
-	var jobs []func() error
+	var jobs []poolJob
 	for alg, preds := range sensitivitySpecs() {
 		for _, cl := range classes {
 			for pi, pc := range preds {
 				for fi, prof := range cl.profiles {
 					alg, cl, pi, pc, fi, prof := alg, cl, pi, pc, fi, prof
-					jobs = append(jobs, func() error {
+					jobs = append(jobs, poolJob{label: fmt.Sprintf("%v/%s/%s", alg, pc.Name, prof.Name), run: func() error {
 						pc := pc
 						res, err := RunProfile(alg, prof, Options{
 							OpsPerCore: o.OpsPerCore, Seed: o.Seed, Predictor: &pc,
@@ -429,7 +467,7 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 							o.Progress(fmt.Sprintf("%v/%s/%s: %d cycles", alg, pc.Name, prof.Name, res.Cycles))
 						}
 						return nil
-					})
+					}})
 				}
 			}
 		}

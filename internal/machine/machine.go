@@ -82,6 +82,11 @@ type Experiment struct {
 	// context can actually be cancelled, and an installed-but-quiet hook
 	// leaves the simulation cycle-identical.
 	Context context.Context
+
+	// ShardRings arbitrates the per-ring transmit batches on worker
+	// goroutines each cycle (see protocol.Options.ShardRings). Results
+	// are cycle-identical with it on or off.
+	ShardRings bool
 }
 
 // New returns an experiment with Table 4 defaults for an algorithm and
@@ -156,14 +161,16 @@ func Run(exp Experiment) (Result, error) {
 	}
 
 	eng, err := protocol.NewEngine(kern, protocol.Options{
-		Machine:   exp.Machine,
-		Predictor: exp.Predictor,
-		PolicyFor: func(i int) core.Policy { return policies[i] },
-		Energy:    exp.Energy,
+		Machine:    exp.Machine,
+		Predictor:  exp.Predictor,
+		PolicyFor:  func(i int) core.Policy { return policies[i] },
+		Energy:     exp.Energy,
+		ShardRings: exp.ShardRings,
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	defer eng.Close()
 	if exp.CheckInvariants {
 		eng.SetInvariantChecker(64, func() error { return checker.Check(eng) })
 	}
@@ -298,8 +305,10 @@ func startGovernor(kern *sim.Kernel, eng *protocol.Engine, ds []*core.DynamicSup
 	var tick func()
 	tick = func() {
 		// Stop ticking once the machine has gone idle (the governor
-		// must not keep the simulation alive forever).
-		if kern.Pending() == 0 {
+		// must not keep the simulation alive forever). Buffered transmit
+		// intents count as pending work: they become kernel events when
+		// the cycle's flush runs.
+		if kern.Pending() == 0 && eng.PendingTransmits() == 0 {
 			return
 		}
 		nowNJ := eng.Meter().TotalNJ()

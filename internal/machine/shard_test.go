@@ -1,0 +1,90 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"flexsnoop/internal/config"
+)
+
+// These tests pin the ShardRings contract: arbitrating the per-ring
+// transmit batches on worker goroutines must leave every observable
+// result — cycles, stats, energy, governor behaviour — bit-identical to
+// the serial engine. ci.sh re-runs them under -race to catch data races
+// between shard workers.
+
+// runPair runs the same experiment serially and sharded.
+func runPair(t *testing.T, exp Experiment) (serial, sharded Result) {
+	t.Helper()
+	exp.ShardRings = false
+	serial, err := Run(exp)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	exp.ShardRings = true
+	sharded, err = Run(exp)
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	return serial, sharded
+}
+
+func TestShardRingsCycleIdentical(t *testing.T) {
+	algs := []config.Algorithm{config.Lazy, config.Eager, config.SupersetAgg}
+	apps := []string{"fft", "specjbb"}
+	if testing.Short() {
+		algs = algs[:2]
+		apps = apps[:1]
+	}
+	for _, alg := range algs {
+		for _, app := range apps {
+			alg, app := alg, app
+			t.Run(alg.String()+"/"+app, func(t *testing.T) {
+				exp := smallExp(t, alg, app, 300)
+				serial, sharded := runPair(t, exp)
+				if !reflect.DeepEqual(serial, sharded) {
+					t.Errorf("sharded result diverges from serial:\nserial:  %+v\nsharded: %+v", serial, sharded)
+				}
+			})
+		}
+	}
+}
+
+// TestShardRingsFourRings exercises more shard workers than the default
+// two-ring machine provides.
+func TestShardRingsFourRings(t *testing.T) {
+	exp := smallExp(t, config.SupersetAgg, "barnes", 300)
+	exp.Machine.NumRings = 4
+	serial, sharded := runPair(t, exp)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("4-ring sharded result diverges from serial:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+}
+
+// TestShardRingsGovernor checks the dynamic adaptive system (which polls
+// PendingTransmits in its stop condition) under sharding.
+func TestShardRingsGovernor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("governor pair run is slow")
+	}
+	exp := smallExp(t, config.DynamicSuperset, "fft", 400)
+	exp.Governor = DefaultGovernor(2.0)
+	serial, sharded := runPair(t, exp)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("governor sharded result diverges from serial:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+	if serial.GovernorAggFrac == 0 && serial.Stats.ReadRequests > 0 {
+		t.Log("governor never ran aggressive — still a valid determinism check")
+	}
+}
+
+// TestShardRingsSingleRing checks the degenerate case: with one ring the
+// engine must not spin up a pool, and results still match.
+func TestShardRingsSingleRing(t *testing.T) {
+	exp := smallExp(t, config.Eager, "fft", 200)
+	exp.Machine.NumRings = 1
+	serial, sharded := runPair(t, exp)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("1-ring sharded result diverges from serial:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+}

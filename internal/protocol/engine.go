@@ -49,6 +49,17 @@ type Engine struct {
 	txnSeq ring.TxnID
 	byID   map[ring.TxnID]*txn
 
+	// liveWrites counts in-flight (non-retired) write transactions per
+	// line: the launch-time "write already in flight" check is a single
+	// lookup here instead of a scan over byID.
+	liveWrites map[cache.LineAddr]int
+
+	// Cycle-batched transmit stage (see shard.go): per-ring buffered
+	// transmit intents, their total, and the optional worker pool.
+	txq     [][]txIntent
+	txTotal int
+	shard   *shardPool
+
 	// downgraded marks lines whose supplier copy the Exact predictor
 	// downgraded; the next memory read of such a line is charged to the
 	// algorithm as a "re-read" (Section 6.1.4).
@@ -145,6 +156,14 @@ type Options struct {
 	// share one policy value when it is stateless.
 	PolicyFor func(node int) core.Policy
 	Energy    energy.Params
+
+	// ShardRings runs the per-ring link-arbitration batches of the
+	// cycle-batched transmit stage on worker goroutines. Results are
+	// cycle-identical to a serial run: side effects merge in fixed
+	// ring-index order (see shard.go). It only helps when the machine
+	// embeds more than one ring; callers should Close the engine to
+	// release the workers.
+	ShardRings bool
 }
 
 // NewEngine builds the coherence engine on a simulation kernel.
@@ -157,20 +176,26 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 	}
 	m := opts.Machine
 	e := &Engine{
-		cfg:        m,
-		predCfg:    opts.Predictor,
-		kern:       kern,
-		torus:      interconnect.NewTorus(m.TorusWidth, m.TorusHeight, m.TorusHopCycles, m.DataSerializationCycles, m.NumCMPs),
-		meter:      energy.NewMeter(opts.Energy),
+		cfg:     m,
+		predCfg: opts.Predictor,
+		kern:    kern,
+		torus:   interconnect.NewTorus(m.TorusWidth, m.TorusHeight, m.TorusHopCycles, m.DataSerializationCycles, m.NumCMPs),
+		meter:   energy.NewMeter(opts.Energy),
 		// Pre-sized for steady-state footprints: maps that rehash mid-run
 		// both allocate and perturb wall time, so start them near their
 		// working-set sizes.
 		versions:   make(map[cache.LineAddr]uint64, 4096),
 		byID:       make(map[ring.TxnID]*txn, 256),
+		liveWrites: make(map[cache.LineAddr]int, 64),
 		downgraded: make(map[cache.LineAddr]bool, 64),
 	}
 	for i := 0; i < m.NumRings; i++ {
 		e.rings = append(e.rings, ring.NewRing(m.NumCMPs, m.RingLinkCycles, ringLinkOccupancyCycles))
+	}
+	e.txq = make([][]txIntent, m.NumRings)
+	kern.EndCycle = e.flushTransmits
+	if opts.ShardRings && m.NumRings > 1 {
+		e.shard = newShardPool(e, m.NumRings)
 	}
 	for i := 0; i < m.NumCMPs; i++ {
 		n := &node{

@@ -1,0 +1,167 @@
+package protocol
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+
+	"flexsnoop/internal/ring"
+	"flexsnoop/internal/sim"
+)
+
+// This file implements the engine's cycle-batched transmit stage.
+//
+// Ring handlers never call ring.Send directly: forwardAt buffers a
+// txIntent per segment, and flushTransmits — installed as the kernel's
+// EndCycle hook — drains the buffers once every event at the current
+// cycle has run. The flush has two stages with a barrier between them:
+//
+//  1. Link arbitration, per ring. Arbitration touches only that ring's
+//     links and counters (genuinely ring-private state, the paper's
+//     address-interleaved rings of Section 2.2), so with ShardRings
+//     enabled the per-ring batches run on worker goroutines.
+//  2. Merge, serial, in fixed ring-index order: telemetry OnSend probes
+//     fire and delivery events are scheduled. Kernel event sequence
+//     numbers — the same-cycle tie-break — are therefore assigned in an
+//     order independent of worker timing, which keeps sharded runs
+//     cycle-identical to serial ones (the shard-merge determinism rule;
+//     see DESIGN.md).
+//
+// Deferral is unconditional: serial mode runs the same two stages inline,
+// so turning ShardRings on or off cannot move a single event.
+
+// txIntent is one buffered message-segment transmission.
+type txIntent struct {
+	depart sim.Time
+	from   int
+	m      *ring.Message
+	start  sim.Time // filled by arbitration
+	arrive sim.Time
+}
+
+// PendingTransmits reports buffered transmit intents not yet flushed.
+// Outside an executing cycle it is zero; the machine's governor checks it
+// so a mid-cycle "no kernel events" observation is not mistaken for a
+// drained simulation.
+func (e *Engine) PendingTransmits() int { return e.txTotal }
+
+// flushTransmits arbitrates and schedules every buffered transmit. It is
+// the kernel's EndCycle hook.
+func (e *Engine) flushTransmits(now sim.Time) {
+	if e.txTotal == 0 {
+		return
+	}
+	// Stage 1: per-ring link arbitration (parallel when sharded).
+	if e.shard != nil {
+		e.shard.run(e)
+	} else {
+		for ri := range e.txq {
+			e.arbitrateRing(ri)
+		}
+	}
+	// Stage 2: serial merge in fixed ring-index order.
+	for ri := range e.txq {
+		r := e.rings[ri]
+		q := e.txq[ri]
+		for i := range q {
+			in := &q[i]
+			if r.OnSend != nil {
+				r.OnSend(in.start, in.arrive, in.from, in.m)
+			}
+			c := e.newCall()
+			c.e, c.ringIdx, c.node, c.m = e, ri, r.Next(in.from), in.m
+			e.kern.ScheduleArg(in.arrive, deliverCall, c)
+			in.m = nil
+		}
+		e.txq[ri] = q[:0]
+	}
+	e.txTotal = 0
+}
+
+// arbitrateRing runs stage 1 for one ring's batch. With ShardRings this
+// executes on a worker goroutine; it must touch nothing beyond the ring
+// and its own intent slice.
+func (e *Engine) arbitrateRing(ri int) {
+	r := e.rings[ri]
+	q := e.txq[ri]
+	for i := range q {
+		q[i].start, q[i].arrive = r.Arbitrate(q[i].depart, q[i].from, q[i].m)
+	}
+}
+
+// shardPool runs per-ring arbitration batches on persistent worker
+// goroutines (Options.ShardRings).
+type shardPool struct {
+	work      chan int
+	wg        sync.WaitGroup
+	labels    []pprof.LabelSet
+	closeOnce sync.Once
+}
+
+// newShardPool starts min(rings, GOMAXPROCS) workers for an engine.
+func newShardPool(e *Engine, rings int) *shardPool {
+	p := &shardPool{
+		work:   make(chan int, rings),
+		labels: make([]pprof.LabelSet, rings),
+	}
+	for ri := range p.labels {
+		p.labels[ri] = pprof.Labels("shard-ring", strconv.Itoa(ri))
+	}
+	workers := rings
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			ctx := context.Background()
+			for ri := range p.work {
+				pprof.Do(ctx, p.labels[ri], func(context.Context) {
+					e.arbitrateRing(ri)
+				})
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run dispatches every non-empty ring batch and waits for all of them.
+// Single-batch cycles skip the handoff: there is nothing to overlap.
+func (p *shardPool) run(e *Engine) {
+	busy := 0
+	last := -1
+	for ri := range e.txq {
+		if len(e.txq[ri]) > 0 {
+			busy++
+			last = ri
+		}
+	}
+	if busy <= 1 {
+		if last >= 0 {
+			e.arbitrateRing(last)
+		}
+		return
+	}
+	p.wg.Add(busy)
+	for ri := range e.txq {
+		if len(e.txq[ri]) > 0 {
+			p.work <- ri
+		}
+	}
+	p.wg.Wait()
+}
+
+// close shuts the workers down; safe to call more than once.
+func (p *shardPool) close() {
+	p.closeOnce.Do(func() { close(p.work) })
+}
+
+// Close releases the engine's shard workers, if any. It is safe to call
+// on a serial engine and safe to call twice.
+func (e *Engine) Close() {
+	if e.shard != nil {
+		e.shard.close()
+	}
+}

@@ -120,15 +120,14 @@ func (e *Engine) launch(t *txn) {
 		e.recordPerfectPrediction(t)
 		// A write already in flight for the line may have passed this
 		// node: any data this read obtains is usable once but must not
-		// be cached (see noInstall).
-		for _, other := range e.byID {
-			if other.kind == ring.WriteSnoop && other.addr == t.addr && !other.retired {
-				t.noInstall = true
-				break
-			}
+		// be cached (see noInstall). liveWrites indexes exactly the
+		// non-retired write transactions in byID, per line.
+		if e.liveWrites[t.addr] > 0 {
+			t.noInstall = true
 		}
 	} else {
 		e.stats.WriteRequests++
+		e.liveWrites[t.addr]++
 	}
 
 	m := e.msgPool.Get()
@@ -513,6 +512,13 @@ func (e *Engine) retire(t *txn) {
 	}
 	n := e.nodes[t.node]
 	delete(e.byID, t.id)
+	if t.kind == ring.WriteSnoop {
+		if c := e.liveWrites[t.addr]; c > 1 {
+			e.liveWrites[t.addr] = c - 1
+		} else {
+			delete(e.liveWrites, t.addr)
+		}
+	}
 	if n.outstanding[t.addr] == t {
 		delete(n.outstanding, t.addr)
 	}

@@ -159,15 +159,25 @@ func (r *Ring) Distance(from, to int) int {
 	return ((to-from)%r.n + r.n) % r.n
 }
 
-// Send transmits one message segment from node 'from' to its successor,
-// returning the arrival time. The link serializes back-to-back messages.
-func (r *Ring) Send(now sim.Time, from int, m *Message) (arrive sim.Time) {
-	start := r.links[from].Reserve(now, r.occupancy)
+// Arbitrate reserves the outgoing link of node 'from' for one message
+// segment departing no earlier than 'depart', returning the granted start
+// and arrival times. The link serializes back-to-back messages. It
+// touches only this ring's state (links and counters) and never fires the
+// OnSend probe, so arbitration for distinct rings may run concurrently;
+// the caller fires OnSend afterwards, in a deterministic order.
+func (r *Ring) Arbitrate(depart sim.Time, from int, m *Message) (start, arrive sim.Time) {
+	start = r.links[from].Reserve(depart, r.occupancy)
 	r.Transmitted++
 	if m.Kind == ReadSnoop {
 		r.ReadSegments++
 	}
-	arrive = start + r.linkCycles
+	return start, start + r.linkCycles
+}
+
+// Send transmits one message segment from node 'from' to its successor,
+// returning the arrival time: Arbitrate plus the OnSend probe.
+func (r *Ring) Send(now sim.Time, from int, m *Message) (arrive sim.Time) {
+	start, arrive := r.Arbitrate(now, from, m)
 	if r.OnSend != nil {
 		r.OnSend(start, arrive, from, m)
 	}

@@ -1,6 +1,7 @@
 package flexsnoop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -48,6 +49,41 @@ func TestRunPoolStopsLaunchingAfterFailure(t *testing.T) {
 	}
 	if n := started.Load(); n != 1 {
 		t.Errorf("%d jobs ran after the failure; want the pool to stop at 1", n)
+	}
+}
+
+func TestRunPoolContextCancelWinsRaceWithJobError(t *testing.T) {
+	// A job fails only after the context is already cancelled; the launch
+	// loop has no further jobs, so only the post-drain check can see the
+	// cancellation. Callers must still observe context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	jobErr := errors.New("job failed during cancellation")
+	jobs := []poolJob{{run: func() error {
+		cancel() // cancellation and the job error race; both in flight
+		return jobErr
+	}}}
+	err := runPoolContext(ctx, 2, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pool did not report context.Canceled: %v", err)
+	}
+	if !errors.Is(err, jobErr) {
+		t.Fatalf("joined error lost the job failure: %v", err)
+	}
+}
+
+func TestRunPoolContextCancelNotDoubleJoined(t *testing.T) {
+	// When the launch loop itself observes the cancellation, the context
+	// error must appear exactly once in the joined result.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runPoolContext(ctx, 1, plainJobs([]func() error{
+		func() error { return nil },
+	}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pool did not report context.Canceled: %v", err)
+	}
+	if n := strings.Count(err.Error(), context.Canceled.Error()); n != 1 {
+		t.Fatalf("context error joined %d times, want once: %v", n, err)
 	}
 }
 
