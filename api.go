@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"flexsnoop/internal/config"
+	"flexsnoop/internal/fault"
 	"flexsnoop/internal/machine"
 	"flexsnoop/internal/sim"
 	"flexsnoop/internal/telemetry"
@@ -69,10 +70,39 @@ var (
 	ErrBadTrace = trace.ErrBadTrace
 	// ErrBadConfig: an invalid machine configuration or option combination.
 	ErrBadConfig = config.ErrBadConfig
+	// ErrFaultPlan: a malformed fault-injection plan or spec string.
+	ErrFaultPlan = fault.ErrPlan
 )
 
 // ParseAlgorithm maps an algorithm name to its identifier.
 func ParseAlgorithm(name string) (Algorithm, error) { return config.ParseAlgorithm(name) }
+
+// FaultPlan is a deterministic fault-injection plan: a list of rules
+// applied to ring link-segment transmissions, plus a retransmit budget.
+// See internal/fault for the field documentation.
+type FaultPlan = fault.Plan
+
+// FaultRule is one fault-injection rule of a FaultPlan.
+type FaultRule = fault.Rule
+
+// Fault kinds for FaultRule.Kind.
+const (
+	// FaultDrop loses the segment; the requester squashes and the
+	// snoop-response deadline drives a bounded retransmit.
+	FaultDrop = fault.Drop
+	// FaultDup delivers a redundant copy one occupancy slot behind; the
+	// receiver discards it (sequence-check analogue).
+	FaultDup = fault.Dup
+	// FaultDelay adds deterministic jitter to the segment's arrival.
+	FaultDelay = fault.Delay
+	// FaultStall parks the segment until the rule's window closes.
+	FaultStall = fault.Stall
+)
+
+// ParseFaultPlan parses the command-line fault-plan syntax
+// ("kind=drop,rate=0.05,ring=0;kind=delay,delay=80" — rules separated
+// by ';', key=value fields by ','). Errors wrap ErrFaultPlan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
 
 // PredictorConfig sizes a supplier predictor; the Sub512...Exa8k presets of
 // Section 5.2 are exposed via Predictors.
@@ -145,6 +175,25 @@ type Options struct {
 	// never perturbs the simulation: results are cycle-identical with it
 	// on or off.
 	Telemetry *TelemetryOptions
+	// Faults, when non-nil with at least one rule, arms deterministic
+	// fault injection on the ring's link segments. Faulty runs exercise
+	// the protocol's timeout/retransmit path; a nil (or empty) plan is
+	// cycle-identical to a build without the fault layer.
+	Faults *FaultPlan
+	// CheckEvery, when positive, runs the full coherence invariant
+	// checker every CheckEvery cycles and fails the run at the first
+	// violation (continuous mode; CheckInvariants remains the cheaper
+	// per-transition spot check).
+	CheckEvery uint64
+	// WatchdogWindow, when positive, arms the no-forward-progress
+	// watchdog with the given window in cycles. Zero picks an automatic
+	// window from the snoop-response deadline when Faults is set, and
+	// leaves the watchdog off otherwise.
+	WatchdogWindow uint64
+	// WatchdogDegrade makes the watchdog degrade gracefully — force
+	// Eager forwarding for the lines of live transactions — before
+	// failing fast.
+	WatchdogDegrade bool
 	// ShardRings arbitrates the per-ring transmit batches of each cycle
 	// on worker goroutines instead of inline. Results are cycle-identical
 	// with it on or off: side effects merge in a fixed ring-index order.
@@ -165,6 +214,9 @@ func (o Options) Validate() error {
 	}
 	if o.NumRings < 0 {
 		return fmt.Errorf("%w: negative ring count %d", ErrBadConfig, o.NumRings)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -258,6 +310,10 @@ func buildExperiment(alg Algorithm, prof Profile, opts Options) (machine.Experim
 	}
 	exp.Telemetry = opts.Telemetry
 	exp.ShardRings = opts.ShardRings
+	exp.Faults = opts.Faults
+	exp.CheckEveryCycles = sim.Time(opts.CheckEvery)
+	exp.WatchdogWindow = sim.Time(opts.WatchdogWindow)
+	exp.WatchdogDegrade = opts.WatchdogDegrade
 	if opts.Tweak != nil {
 		opts.Tweak(&exp.Machine)
 	}

@@ -150,6 +150,31 @@ func benchScenarios() []benchScenario {
 				return body, func() { os.RemoveAll(dir) }, nil
 			},
 		},
+		{
+			// The hardened hot path: a run with fault injection, snoop
+			// deadlines, the watchdog and the continuous checker all
+			// armed, so the retransmit/timeout machinery shows up in the
+			// throughput record. Drop and delay rates are kept low enough
+			// that every transaction still completes.
+			name: "fault-injected", ops: 800,
+			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
+				plan, err := ParseFaultPlan("kind=drop,rate=0.02,seed=7;kind=delay,rate=0.05,delay=80,seed=11")
+				if err != nil {
+					return nil, nil, err
+				}
+				opts := Options{
+					OpsPerCore: ops, Seed: 1, ShardRings: shard,
+					Faults: plan, CheckEvery: 5000,
+				}
+				return func() (uint64, error) {
+					res, err := Run(SupersetAgg, "barnes", opts)
+					if err != nil {
+						return 0, err
+					}
+					return uint64(res.Cycles), nil
+				}, nil, nil
+			},
+		},
 	}
 }
 

@@ -25,10 +25,24 @@ go test -race ./internal/... .
 echo "== go test -race -run Shard (short) =="
 go test -race -short -run Shard ./internal/...
 
+echo "== fault-matrix smoke =="
+# Three documented fault plans x two algorithms, each with the continuous
+# invariant checker armed: every run must complete with zero violations.
+for plan in \
+    "kind=drop,rate=0.05,seed=1" \
+    "kind=delay,rate=0.1,delay=120,seed=2" \
+    "kind=drop,rate=0.03,seed=3;kind=dup,rate=0.03,seed=4;kind=delay,rate=0.05,delay=80,seed=5"; do
+    for alg in Lazy SupersetAgg; do
+        echo "  $alg faults=\"$plan\""
+        go run ./cmd/ringsim -alg "$alg" -workload fft -ops 300 \
+            -faults "$plan" -checkevery 5000 -json > /dev/null
+    done
+done
+
 echo "== bench (short) =="
 # Record this PR's benchmark numbers; cmd/bench prints comparisons
 # against every prior BENCH_*.json and fails on a >25% throughput
 # regression versus the newest one.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_3.json
+go run ./cmd/bench -short -maxregress 25 -out BENCH_4.json
 
 echo "CI OK"

@@ -7,6 +7,8 @@
 //	ringsim [-alg SupersetAgg] [-workload barnes] [-ops 3000] [-seed 1]
 //	        [-predictor Sub2k|Supy2k|...] [-rings 2] [-noprefetch]
 //	        [-check] [-replay file]
+//	        [-faults "kind=drop,rate=0.05,seed=1;kind=delay,rate=0.1,delay=80"]
+//	        [-checkevery N] [-watchdog N] [-degrade]
 //	        [-trace out.json] [-traceformat chrome|jsonl] [-tracehops]
 //	        [-metrics out.csv] [-interval N] [-chart out.svg]
 //	        [-cpuprofile out.pprof] [-memprofile out.pprof]
@@ -45,6 +47,13 @@ var (
 	shardFlag  = flag.Bool("shard", false, "arbitrate per-ring transmit batches on worker goroutines (cycle-identical results)")
 	listFlag   = flag.Bool("list", false, "list workloads and predictors, then exit")
 	jsonFlag   = flag.Bool("json", false, "emit the result as JSON instead of a table")
+
+	// Robustness: deterministic fault injection and the layers that make
+	// injected faults survivable (see DESIGN.md §8).
+	faultsFlag = flag.String("faults", "", "fault plan, e.g. \"kind=drop,rate=0.05,seed=1;kind=delay,rate=0.1,delay=80,seed=2\"")
+	checkEvery = flag.Uint64("checkevery", 0, "run the full invariant checker every N cycles (0 = off)")
+	watchdog   = flag.Uint64("watchdog", 0, "watchdog window in cycles (0 = default; armed automatically under -faults)")
+	degrade    = flag.Bool("degrade", false, "degrade gracefully on a watchdog verdict (force Eager forwarding) instead of failing fast")
 
 	// Telemetry outputs (the run is cycle-identical with or without them).
 	traceOut   = flag.String("trace", "", "write a per-transaction event trace to this file")
@@ -102,6 +111,16 @@ func run() error {
 		NumRings:                  *ringsFlag,
 		GovernorBudgetNJPerKCycle: *budgetFlag,
 		ShardRings:                *shardFlag,
+		CheckEvery:                *checkEvery,
+		WatchdogWindow:            *watchdog,
+		WatchdogDegrade:           *degrade,
+	}
+	if *faultsFlag != "" {
+		plan, err := flexsnoop.ParseFaultPlan(*faultsFlag)
+		if err != nil {
+			return err
+		}
+		opts.Faults = plan
 	}
 	if *predFlag != "" {
 		p, ok := flexsnoop.Predictors()[*predFlag]
@@ -228,6 +247,14 @@ type jsonReport struct {
 	PredictorFP            float64            `json:"predictor_fp"`
 	PredictorFN            float64            `json:"predictor_fn"`
 	GovernorAggressiveFrac float64            `json:"governor_aggressive_frac,omitempty"`
+
+	// Fault-injection counters (only populated under -faults).
+	FaultDrops    uint64 `json:"fault_drops,omitempty"`
+	FaultDups     uint64 `json:"fault_dups,omitempty"`
+	FaultDelays   uint64 `json:"fault_delays,omitempty"`
+	FaultStalls   uint64 `json:"fault_stalls,omitempty"`
+	SnoopTimeouts uint64 `json:"snoop_timeouts,omitempty"`
+	DegradedLines uint64 `json:"degraded_lines,omitempty"`
 }
 
 func printJSON(r flexsnoop.Result) error {
@@ -251,6 +278,9 @@ func printJSON(r flexsnoop.Result) error {
 		EnergyNJ: r.EnergyNJ, EnergyBreakdownNJ: breakdown,
 		PredictorTP: tp, PredictorTN: tn, PredictorFP: fp, PredictorFN: fn,
 		GovernorAggressiveFrac: r.GovernorAggFrac,
+		FaultDrops:             s.FaultDrops, FaultDups: s.FaultDups,
+		FaultDelays: s.FaultDelays, FaultStalls: s.FaultStalls,
+		SnoopTimeouts: s.SnoopTimeouts, DegradedLines: s.DegradedLines,
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -272,6 +302,12 @@ func print(r flexsnoop.Result) {
 	t.AddRowf("Supply: local / cache / memory",
 		fmt.Sprintf("%d / %d / %d", s.LocalSupplies, s.CacheSupplies, s.MemorySupplies))
 	t.AddRowf("Squashes / retries", fmt.Sprintf("%d / %d", s.Squashes, s.Retries))
+	if s.FaultDrops+s.FaultDups+s.FaultDelays+s.FaultStalls > 0 {
+		t.AddRowf("Faults: drop / dup / delay / stall",
+			fmt.Sprintf("%d / %d / %d / %d", s.FaultDrops, s.FaultDups, s.FaultDelays, s.FaultStalls))
+		t.AddRowf("Snoop timeouts / degraded lines",
+			fmt.Sprintf("%d / %d", s.SnoopTimeouts, s.DegradedLines))
+	}
 	t.AddRowf("Prefetch hits / prefetches", fmt.Sprintf("%d / %d", s.PrefetchHits, s.Prefetches))
 	t.AddRowf("Downgrades (Exact)", fmt.Sprintf("%d", s.Downgrades))
 	if s.Accuracy.Total() > 0 {

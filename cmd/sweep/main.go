@@ -7,6 +7,7 @@
 // Usage:
 //
 //	sweep [-ops 2000] [-seed 1] [-apps a,b,c] [-v]
+//	      [-faults "kind=drop,rate=0.05,seed=1"]
 package main
 
 import (
@@ -22,10 +23,11 @@ import (
 )
 
 var (
-	opsFlag  = flag.Uint64("ops", 2000, "memory references per core")
-	seedFlag = flag.Int64("seed", 1, "workload seed")
-	appsFlag = flag.String("apps", "", "comma-separated SPLASH-2 subset")
-	verbose  = flag.Bool("v", false, "per-run progress")
+	opsFlag    = flag.Uint64("ops", 2000, "memory references per core")
+	seedFlag   = flag.Int64("seed", 1, "workload seed")
+	appsFlag   = flag.String("apps", "", "comma-separated SPLASH-2 subset")
+	verbose    = flag.Bool("v", false, "per-run progress")
+	faultsFlag = flag.String("faults", "", "fault plan applied to every run (see ringsim -faults)")
 )
 
 func main() {
@@ -33,6 +35,14 @@ func main() {
 	opts := flexsnoop.FigureOptions{OpsPerCore: *opsFlag, Seed: *seedFlag}
 	if *appsFlag != "" {
 		opts.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *faultsFlag != "" {
+		plan, err := flexsnoop.ParseFaultPlan(*faultsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(cli.ExitCode(err))
+		}
+		opts.Faults = plan
 	}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }

@@ -238,7 +238,7 @@ func TestRunBenchSuiteSmoke(t *testing.T) {
 	if r.AllocsPerOp <= 0 {
 		t.Errorf("allocs/op = %d; memory accounting missing", r.AllocsPerOp)
 	}
-	if len(flexsnoop.BenchScenarios()) != 3 {
-		t.Errorf("scenario set = %v, want 3 entries", flexsnoop.BenchScenarios())
+	if len(flexsnoop.BenchScenarios()) != 4 {
+		t.Errorf("scenario set = %v, want 4 entries", flexsnoop.BenchScenarios())
 	}
 }

@@ -47,6 +47,13 @@ type FigureOptions struct {
 	// ShardRings enables Options.ShardRings for every simulation the
 	// driver runs (cycle-identical results; see Options.ShardRings).
 	ShardRings bool
+	// Faults arms deterministic fault injection for every simulation the
+	// driver runs (see Options.Faults). Figures regenerated under faults
+	// measure the hardened protocol, not the paper's fault-free numbers.
+	Faults *FaultPlan
+	// CheckEvery arms the continuous invariant checker for every
+	// simulation the driver runs (see Options.CheckEvery).
+	CheckEvery uint64
 }
 
 // ctx returns the driver's context, defaulting to Background.
@@ -74,11 +81,14 @@ func (o FigureOptions) withDefaults() FigureOptions {
 }
 
 // poolJob is one unit of work for runPoolContext. A non-empty label is
-// attached to the job's goroutine as a pprof label ("scenario"), so a CPU
-// profile of a figure driver attributes time per simulated cell.
+// attached to the job's goroutine as a pprof label (under labelKey,
+// "scenario" when empty), so a CPU profile of a figure driver attributes
+// time per simulated cell — and fault-injection jobs, which carry their
+// own key, separate from plain figure cells in the same profile.
 type poolJob struct {
-	label string
-	run   func() error
+	label    string
+	labelKey string
+	run      func() error
 }
 
 // plainJobs wraps bare functions as unlabelled pool jobs.
@@ -149,7 +159,11 @@ func runPoolContext(ctx context.Context, parallelism int, jobs []poolJob) error 
 				run()
 				return
 			}
-			pprof.Do(ctx, pprof.Labels("scenario", job.label), func(context.Context) { run() })
+			key := job.labelKey
+			if key == "" {
+				key = "scenario"
+			}
+			pprof.Do(ctx, pprof.Labels(key, job.label), func(context.Context) { run() })
 		}()
 	}
 	wg.Wait()
@@ -222,7 +236,7 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 				tel = o.TelemetryFor(alg, prof.Name)
 			}
 			jobs = append(jobs, poolJob{label: fmt.Sprintf("%v/%s", alg, prof.Name), run: func() error {
-				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel, ShardRings: o.ShardRings})
+				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel, ShardRings: o.ShardRings, Faults: o.Faults, CheckEvery: o.CheckEvery})
 				if err != nil {
 					return fmt.Errorf("flexsnoop: %v on %s: %w", alg, prof.Name, err)
 				}
@@ -455,6 +469,7 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 						pc := pc
 						res, err := RunProfile(alg, prof, Options{
 							OpsPerCore: o.OpsPerCore, Seed: o.Seed, Predictor: &pc,
+							Faults: o.Faults, CheckEvery: o.CheckEvery,
 						})
 						if err != nil {
 							return fmt.Errorf("flexsnoop: sensitivity %v/%s/%s: %w",
@@ -509,6 +524,74 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 		}
 	}
 	return out, nil
+}
+
+// FaultScenario names one fault plan for RunFaultMatrix.
+type FaultScenario struct {
+	Name string
+	Plan *FaultPlan
+}
+
+// FaultCell is one completed cell of a fault-matrix run.
+type FaultCell struct {
+	Scenario  string
+	Algorithm Algorithm
+	Workload  string
+	Result    Result
+}
+
+// RunFaultMatrix runs every (fault scenario, algorithm) pair on one
+// workload with the continuous invariant checker armed, in parallel.
+// It is the robustness analogue of RunMatrix: each cell must complete —
+// a hang trips the watchdog, a coherence violation trips the checker —
+// so a green matrix certifies the timeout/retransmit path end to end.
+// Jobs carry the pprof label key "fault-inject" instead of "scenario",
+// so a CPU profile separates fault-hardened runs from plain figure
+// cells.
+func RunFaultMatrix(workloadName string, scenarios []FaultScenario, opts FigureOptions) ([]FaultCell, error) {
+	o := opts.withDefaults()
+	prof, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	checkEvery := o.CheckEvery
+	if checkEvery == 0 {
+		checkEvery = 5000
+	}
+	cells := make([]FaultCell, len(scenarios)*len(o.Algorithms))
+	var jobs []poolJob
+	for si, sc := range scenarios {
+		for ai, alg := range o.Algorithms {
+			si, sc, ai, alg := si, sc, ai, alg
+			jobs = append(jobs, poolJob{
+				label:    fmt.Sprintf("%s/%v", sc.Name, alg),
+				labelKey: "fault-inject",
+				run: func() error {
+					res, err := RunProfileContext(o.ctx(), alg, prof, Options{
+						OpsPerCore: o.OpsPerCore, Seed: o.Seed,
+						Faults: sc.Plan, CheckEvery: checkEvery,
+						ShardRings: o.ShardRings,
+					})
+					if err != nil {
+						return fmt.Errorf("flexsnoop: fault matrix %s/%v on %s: %w",
+							sc.Name, alg, prof.Name, err)
+					}
+					cells[si*len(o.Algorithms)+ai] = FaultCell{
+						Scenario: sc.Name, Algorithm: alg, Workload: prof.Name, Result: res,
+					}
+					if o.Progress != nil {
+						o.Progress(fmt.Sprintf("%s/%v: %d cycles, %d timeouts, %d drops",
+							sc.Name, alg, res.Cycles, res.Stats.SnoopTimeouts, res.Stats.FaultDrops))
+					}
+					return nil
+				},
+			})
+		}
+	}
+	if err := runPoolContext(o.ctx(), o.Parallelism, jobs); err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // ScalingPoint is one machine size in the ring-scaling study.

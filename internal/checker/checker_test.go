@@ -103,6 +103,76 @@ func TestDrainedDetectsOutstanding(t *testing.T) {
 	}
 }
 
+// taggedMachine drives an engine into a legitimate Tagged configuration:
+// a store dirties the line at node 0, then a remote load makes the dirty
+// owner supply it, transitioning D -> T while the reader installs Shared.
+func taggedMachine(t *testing.T) (*sim.Kernel, *protocol.Engine) {
+	t.Helper()
+	kern, e := newEngine(t)
+	e.Access(0, 0, protocol.Store, 0x80, nil)
+	kern.RunAll()
+	e.Access(3, 1, protocol.Load, 0x80, nil)
+	kern.RunAll()
+	return kern, e
+}
+
+func TestTaggedStatePasses(t *testing.T) {
+	_, e := taggedMachine(t)
+	if st := e.LineState(0, 0, 0x80); st != cache.Tagged {
+		t.Fatalf("supplier state = %v, want Tagged", st)
+	}
+	if err := checker.CheckDrained(e); err != nil {
+		t.Errorf("legitimate Tagged configuration failed: %v", err)
+	}
+}
+
+func TestDetectsIncompatibleStates(t *testing.T) {
+	_, e := taggedMachine(t)
+	// Promote the reader's plain Shared copy to a second global supplier:
+	// Tagged@(n0,c0) + SharedGlobal@(n3,c1) violates the Figure 2(b)
+	// matrix, and the report must name the line and both copies.
+	e.CorruptLineState(3, 1, 0x80, cache.SharedGlobal)
+	err := checker.Check(e)
+	if err == nil {
+		t.Fatal("corrupted line passed the checker")
+	}
+	for _, want := range []string{"incompatible states", "0x80", "n0,c0", "n3,c1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDetectsSupplierMissingFromIndex(t *testing.T) {
+	_, e := taggedMachine(t)
+	// Drop the gateway index entry out from under the Tagged supplier.
+	e.CorruptSupplierIndex(0, 0x80, 0, false)
+	err := checker.Check(e)
+	if err == nil {
+		t.Fatal("missing index entry passed the checker")
+	}
+	for _, want := range []string{"missing from gateway index", "0x80", "T@(n0,c0)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDetectsStaleSupplierIndex(t *testing.T) {
+	_, e := taggedMachine(t)
+	// Index a line at a node that holds no supplier copy of it.
+	e.CorruptSupplierIndex(5, 0x200, 0, true)
+	err := checker.Check(e)
+	if err == nil {
+		t.Fatal("stale index entry passed the checker")
+	}
+	for _, want := range []string{"node 5", "0x200", "no supplier copy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestLostWriteDetection(t *testing.T) {
 	// The memory-vs-latest rule: a line that was written, then evicted
 	// with its write-back, must leave memory at the latest version. A

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"flexsnoop/internal/config"
+	"flexsnoop/internal/fault"
 	"flexsnoop/internal/trace"
 	"flexsnoop/internal/workload"
 )
@@ -29,7 +30,8 @@ func ExitCode(err error) int {
 		return ExitBadTrace
 	case errors.Is(err, workload.ErrUnknown),
 		errors.Is(err, config.ErrUnknownAlgorithm),
-		errors.Is(err, config.ErrBadConfig):
+		errors.Is(err, config.ErrBadConfig),
+		errors.Is(err, fault.ErrPlan):
 		return ExitUsage
 	default:
 		return ExitFailure

@@ -412,6 +412,10 @@ func (m MachineConfig) Validate() error {
 		return fmt.Errorf("%w: need at least 1 outstanding load", ErrBadConfig)
 	case m.MaxTransactionsPerNode < 1:
 		return fmt.Errorf("%w: need at least 1 outstanding transaction per node", ErrBadConfig)
+	case m.RetryBackoffCycles < 1:
+		// The squash/retry and timeout/retransmit paths both scale this
+		// value; zero would make every retry re-collide in the same cycle.
+		return fmt.Errorf("%w: retry backoff must be positive", ErrBadConfig)
 	}
 	return nil
 }

@@ -65,6 +65,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"zero link latency", func(m *MachineConfig) { m.RingLinkCycles = 0 }},
 		{"zero write buffer", func(m *MachineConfig) { m.WriteBufferEntries = 0 }},
 		{"zero txn limit", func(m *MachineConfig) { m.MaxTransactionsPerNode = 0 }},
+		{"zero retry backoff", func(m *MachineConfig) { m.RetryBackoffCycles = 0 }},
 	}
 	for _, tc := range mutations {
 		m := DefaultMachine()

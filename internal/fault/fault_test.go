@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("kind=drop,rate=0.05,ring=0,node=2,from=1000,until=90000,seed=3;kind=delay,rate=0.1,delay=80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Kind != Drop || r.Rate != 0.05 || r.Ring != 0 || r.Node != 2 || r.From != 1000 || r.Until != 90000 || r.Seed != 3 {
+		t.Errorf("rule 0 parsed wrong: %+v", r)
+	}
+	d := p.Rules[1]
+	if d.Kind != Delay || d.Rate != 0.1 || d.Delay != 80 || d.Ring != -1 || d.Node != -1 {
+		t.Errorf("rule 1 parsed wrong: %+v", d)
+	}
+}
+
+func TestParsePlanDefaultsRateToOne(t *testing.T) {
+	p, err := ParsePlan("kind=stall,node=1,until=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Rate != 1 {
+		t.Errorf("rate = %g, want default 1", p.Rules[0].Rate)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"kind=explode",
+		"rate=0.5",                    // missing kind
+		"kind=drop,rate=1.5",          // rate out of range
+		"kind=drop,rate=abc",          // unparsable value
+		"kind=drop,bogus=1",           // unknown field
+		"kind=drop;;kind=dup",         // empty rule
+		"kind=delay,rate=0.1",         // delay kind without delay
+		"kind=stall,node=1",           // stall without bounded window
+		"kind=drop,from=100,until=50", // empty window
+		"kind=drop,ring=-2",           // bad target
+		"kind=drop rate=0.5",          // not key=value
+	} {
+		if _, err := ParsePlan(spec); !errors.Is(err, ErrPlan) {
+			t.Errorf("ParsePlan(%q) = %v, want ErrPlan", spec, err)
+		}
+	}
+}
+
+func TestValidateMaxRetries(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Kind: Drop, Rate: 0.1, Ring: -1, Node: -1}}, MaxRetries: -1}
+	if err := p.Validate(); !errors.Is(err, ErrPlan) {
+		t.Errorf("negative MaxRetries validated: %v", err)
+	}
+	p.MaxRetries = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if got := p.RetryLimit(); got != DefaultMaxRetries {
+		t.Errorf("RetryLimit() = %d, want default %d", got, DefaultMaxRetries)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan should validate: %v", err)
+	}
+	if nilPlan.Enabled() {
+		t.Error("nil plan reports enabled")
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	p, err := ParsePlan("kind=drop,rate=0.3,seed=7;kind=delay,rate=0.5,delay=40;kind=dup,rate=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewInjector(p), NewInjector(p)
+	for i := 0; i < 10000; i++ {
+		dep := uint64(i * 3)
+		got := a.Inspect(dep, dep+39, i%2, i%8, (i+1)%8)
+		want := b.Inspect(dep, dep+39, i%2, i%8, (i+1)%8)
+		if got != want {
+			t.Fatalf("segment %d: %+v vs %+v", i, got, want)
+		}
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Kind: Drop, Rate: 0.1, Ring: -1, Node: -1, Seed: 1},
+		{Kind: Delay, Rate: 0.25, Ring: -1, Node: -1, Seed: 2, Delay: 80},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(p)
+	const n = 200000
+	drops, delays := 0, 0
+	var maxDelay uint64
+	for i := 0; i < n; i++ {
+		act := inj.Inspect(uint64(i), uint64(i)+39, 0, 0, 1)
+		if act.Drop {
+			drops++
+		}
+		if act.Delay > 0 {
+			delays++
+			if act.Delay > maxDelay {
+				maxDelay = act.Delay
+			}
+		}
+	}
+	if f := float64(drops) / n; math.Abs(f-0.1) > 0.01 {
+		t.Errorf("drop rate %g, want ~0.1", f)
+	}
+	if f := float64(delays) / n; math.Abs(f-0.25) > 0.01 {
+		t.Errorf("delay rate %g, want ~0.25", f)
+	}
+	if maxDelay == 0 || maxDelay > 80 {
+		t.Errorf("max jitter %d, want in (0,80]", maxDelay)
+	}
+}
+
+func TestInjectorTargeting(t *testing.T) {
+	p := &Plan{Rules: []Rule{
+		{Kind: Drop, Rate: 1, Ring: 1, Node: 3, From: 100, Until: 200},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(p)
+	cases := []struct {
+		dep  uint64
+		ring int
+		from int
+		want bool
+	}{
+		{150, 1, 3, true},
+		{150, 0, 3, false}, // wrong ring
+		{150, 1, 4, false}, // wrong node
+		{50, 1, 3, false},  // before window
+		{200, 1, 3, false}, // at window end (exclusive)
+	}
+	for _, c := range cases {
+		act := inj.Inspect(c.dep, c.dep+39, c.ring, c.from, (c.from+1)%8)
+		if act.Drop != c.want {
+			t.Errorf("Inspect(dep=%d ring=%d from=%d).Drop = %v, want %v", c.dep, c.ring, c.from, act.Drop, c.want)
+		}
+	}
+}
+
+func TestStallHoldsUntilWindowEnd(t *testing.T) {
+	p := &Plan{Rules: []Rule{{Kind: Stall, Rate: 1, Ring: -1, Node: 2, From: 0, Until: 5000}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(p)
+	// Arrival at the stalled node inside the window is held to its end.
+	act := inj.Inspect(1000, 1039, 0, 1, 2)
+	if act.Stall != 5000-1039 {
+		t.Errorf("stall = %d, want %d", act.Stall, 5000-1039)
+	}
+	// A different receiving node passes untouched.
+	if act := inj.Inspect(1000, 1039, 0, 2, 3); act.Stall != 0 {
+		t.Errorf("unmatched node stalled: %+v", act)
+	}
+	// After the window nothing stalls.
+	if act := inj.Inspect(6000, 6039, 0, 1, 2); act.Stall != 0 {
+		t.Errorf("post-window stall: %+v", act)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flexsnoop/internal/core"
 	"flexsnoop/internal/cpu"
 	"flexsnoop/internal/energy"
+	"flexsnoop/internal/fault"
 	"flexsnoop/internal/protocol"
 	"flexsnoop/internal/sim"
 	"flexsnoop/internal/telemetry"
@@ -87,6 +88,26 @@ type Experiment struct {
 	// goroutines each cycle (see protocol.Options.ShardRings). Results
 	// are cycle-identical with it on or off.
 	ShardRings bool
+
+	// Faults, when it carries rules, injects deterministic link faults
+	// and arms the engine's timeout/retransmit recovery plus the
+	// no-progress watchdog (see protocol.Options.Faults). Nil leaves the
+	// run cycle-identical to a fault-free build.
+	Faults *fault.Plan
+
+	// CheckEveryCycles runs the full coherence invariant checker every N
+	// cycles during the run, failing at the violating cycle instead of at
+	// end of run. Zero disables the continuous mode.
+	CheckEveryCycles sim.Time
+
+	// WatchdogWindow overrides the no-forward-progress window (cycles).
+	// Zero picks a default sized from the engine's response deadline. The
+	// watchdog arms whenever faults are enabled or a window is set.
+	WatchdogWindow sim.Time
+
+	// WatchdogDegrade makes the watchdog degrade gracefully — force
+	// Eager forwarding on stalled lines — before failing fast.
+	WatchdogDegrade bool
 }
 
 // New returns an experiment with Table 4 defaults for an algorithm and
@@ -166,6 +187,7 @@ func Run(exp Experiment) (Result, error) {
 		PolicyFor:  func(i int) core.Policy { return policies[i] },
 		Energy:     exp.Energy,
 		ShardRings: exp.ShardRings,
+		Faults:     exp.Faults,
 	})
 	if err != nil {
 		return Result{}, err
@@ -185,6 +207,15 @@ func Run(exp Experiment) (Result, error) {
 			s.QueueDepth = kern.Pending()
 			return s
 		})
+	}
+
+	// The robustness layer chains onto the engine's EndCycle hook; both
+	// pieces only inspect, so arming them moves no events.
+	if exp.CheckEveryCycles > 0 {
+		installContinuousChecker(kern, eng, exp.CheckEveryCycles)
+	}
+	if eng.FaultsEnabled() || exp.WatchdogWindow > 0 {
+		installWatchdog(kern, eng, col, exp.WatchdogWindow, exp.WatchdogDegrade)
 	}
 
 	totalCores := exp.Machine.TotalCores()
@@ -245,11 +276,23 @@ func Run(exp Experiment) (Result, error) {
 		col.Close(kern.Now())
 		return Result{}, fmt.Errorf("machine: run cancelled: %w", cerr)
 	}
+	if ferr := eng.Failure(); ferr != nil {
+		// Watchdog verdict, continuous-check violation or retransmit
+		// exhaustion: flush telemetry (it carries the dump) and fail.
+		col.Close(kern.Now())
+		return Result{}, ferr
+	}
 	if err := col.Close(kern.Now()); err != nil {
 		return Result{}, fmt.Errorf("machine: %w", err)
 	}
 	if remaining != 0 {
 		return Result{}, fmt.Errorf("machine: %d cores unfinished at cycle limit %d", remaining, max)
+	}
+	if eng.FaultsEnabled() {
+		// Timeout-retired transactions leave orphaned per-node message
+		// bookkeeping behind; with the queue drained nothing references
+		// it, so reclaim before the drain check.
+		eng.ScavengeOrphanStates()
 	}
 	if err := checker.CheckDrained(eng); err != nil {
 		return Result{}, fmt.Errorf("machine: post-run check: %w", err)

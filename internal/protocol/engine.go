@@ -13,6 +13,7 @@ import (
 	"flexsnoop/internal/config"
 	"flexsnoop/internal/core"
 	"flexsnoop/internal/energy"
+	"flexsnoop/internal/fault"
 	"flexsnoop/internal/interconnect"
 	"flexsnoop/internal/memory"
 	"flexsnoop/internal/predictor"
@@ -82,6 +83,26 @@ type Engine struct {
 	// serves interval samples (the telemetry layer). Every emit site
 	// guards with a nil check, so the disabled cost is one comparison.
 	tel *telemetry.Collector
+
+	// Fault-injection and hardening state (see fault.go). inj is nil on
+	// fault-free runs; every hot-path hook guards on that, so a disabled
+	// run stays cycle-identical. deadlineCycles is the per-attempt snoop
+	// response deadline; eagerLines holds lines the watchdog degraded to
+	// Eager forwarding; failErr latches the first unrecoverable failure.
+	inj               *fault.Injector
+	deadlineCycles    sim.Time
+	maxTimeoutRetries int
+	eagerLines        map[cache.LineAddr]bool
+	failErr           error
+	// linkFloor[ring][from] is the latest arrival already scheduled on a
+	// link: injected delays and stalls push subsequent traffic on the
+	// same link behind them, so the ring's per-link FIFO order survives
+	// injection (reordering within a link would let a reply overtake its
+	// own request — a network no ring can produce).
+	linkFloor [][]sim.Time
+	// retryLines counts parked timeout retransmits per line, so the
+	// watchdog's degradation pass can see work hiding in backoff timers.
+	retryLines map[cache.LineAddr]int
 
 	// Free lists (see pool.go). Single-threaded, so plain slices suffice.
 	msgPool ring.Pool
@@ -164,6 +185,13 @@ type Options struct {
 	// embeds more than one ring; callers should Close the engine to
 	// release the workers.
 	ShardRings bool
+
+	// Faults, when it carries rules, injects deterministic link faults
+	// into the transmit stage and arms the engine's recovery machinery:
+	// per-transaction response deadlines with bounded exponential-backoff
+	// retransmit (see fault.go). Nil or empty leaves the engine
+	// cycle-identical to a build without the fault layer.
+	Faults *fault.Plan
 }
 
 // NewEngine builds the coherence engine on a simulation kernel.
@@ -173,6 +201,9 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 	}
 	if opts.PolicyFor == nil {
 		return nil, fmt.Errorf("protocol: Options.PolicyFor is required")
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	m := opts.Machine
 	e := &Engine{
@@ -196,6 +227,16 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 	kern.EndCycle = e.flushTransmits
 	if opts.ShardRings && m.NumRings > 1 {
 		e.shard = newShardPool(e, m.NumRings)
+	}
+	e.deadlineCycles = timeoutDeadline(m, opts.Predictor)
+	if opts.Faults.Enabled() {
+		e.inj = fault.NewInjector(opts.Faults)
+		e.maxTimeoutRetries = opts.Faults.RetryLimit()
+		e.linkFloor = make([][]sim.Time, m.NumRings)
+		for i := range e.linkFloor {
+			e.linkFloor[i] = make([]sim.Time, m.NumCMPs)
+		}
+		e.retryLines = make(map[cache.LineAddr]int)
 	}
 	for i := 0; i < m.NumCMPs; i++ {
 		n := &node{
@@ -381,6 +422,9 @@ func (e *Engine) DebugTxns() []string {
 		if len(n.issueQueue) > 0 {
 			out = append(out, fmt.Sprintf("node %d issueQueue=%d activeTxns=%d", ni, len(n.issueQueue), n.activeTxns))
 		}
+	}
+	for addr, c := range e.retryLines {
+		out = append(out, fmt.Sprintf("line %#x: %d retries parked in backoff", addr, c))
 	}
 	return out
 }

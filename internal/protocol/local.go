@@ -27,12 +27,12 @@ func (e *Engine) Access(nodeID, coreID int, kind AccessKind, addr cache.LineAddr
 	if kind == Store {
 		rk = ring.WriteSnoop
 	}
-	e.access(nodeID, coreID, rk, addr, e.now(), done, nil, 0)
+	e.access(nodeID, coreID, rk, addr, e.now(), done, nil, 0, 0)
 }
 
 // access is the full reference path; it is re-entered by retries and
 // waiters (which carry their original age).
-func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	if kind == ring.ReadSnoop {
 		// L1 filter: loads complete from L1.
@@ -57,7 +57,7 @@ func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr,
 		}
 		// Miss in own L2: snoop the local CMP before going to the ring
 		// (Section 2.2).
-		e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.ReadSnoop, addr, age, done, waiters, retries))
+		e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.ReadSnoop, addr, age, done, waiters, retries, timeoutRetries))
 		return
 	}
 
@@ -68,14 +68,15 @@ func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr,
 		e.completeAfter(l2RT, done, waiters)
 		return
 	}
-	e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.WriteSnoop, addr, age, done, waiters, retries))
+	e.kern.AfterArg(l2RT, localPathCall, e.pathCtxFor(nodeID, coreID, ring.WriteSnoop, addr, age, done, waiters, retries, timeoutRetries))
 }
 
 // pathCtxFor fills a pooled access-path context.
-func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) *pathCtx {
+func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) *pathCtx {
 	p := e.newPath()
 	p.e, p.node, p.core, p.kind = e, nodeID, coreID, kind
 	p.addr, p.age, p.done, p.waiters, p.retries = addr, age, done, waiters, retries
+	p.timeoutRetries = timeoutRetries
 	return p
 }
 
@@ -89,7 +90,7 @@ func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []func()) {
 
 // localReadBody snoops the CMP-local caches once the intra-CMP bus grants
 // (see localPathCall) and falls back to the ring.
-func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	// Re-check own L2: a waiter's earlier fill may have landed.
 	if l := n.l2[coreID].Access(addr); l != nil {
@@ -117,12 +118,13 @@ func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.
 	t := e.newTxn()
 	t.kind, t.addr, t.node, t.core = ring.ReadSnoop, addr, nodeID, coreID
 	t.age, t.needData, t.done, t.waiters, t.retries = age, true, done, waiters, retries
+	t.timeoutRetries = timeoutRetries
 	e.issueTxn(t)
 }
 
 // localWriteBody resolves store misses and upgrades once the intra-CMP
 // bus grants (see localPathCall).
-func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries int) {
+func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	// Re-check own L2 after the bus wait.
 	if l := n.l2[coreID].Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
@@ -165,6 +167,7 @@ func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim
 	t.kind, t.addr, t.node, t.core = ring.WriteSnoop, addr, nodeID, coreID
 	t.age, t.needData, t.upgrade = age, !hasCopy, hasCopy
 	t.done, t.waiters, t.retries = done, waiters, retries
+	t.timeoutRetries = timeoutRetries
 	e.issueTxn(t)
 }
 

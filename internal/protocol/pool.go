@@ -92,6 +92,9 @@ type pathCtx struct {
 	done    func()
 	waiters []func()
 	retries int
+	// timeoutRetries rides along so a timeout-driven retransmit keeps its
+	// budget across the re-entered access path (fault runs only).
+	timeoutRetries int
 }
 
 func (e *Engine) newPath() *pathCtx {
@@ -139,11 +142,12 @@ func localPathGrantCall(a any) {
 	p := a.(*pathCtx)
 	e, node, core, kind := p.e, p.node, p.core, p.kind
 	addr, age, done, waiters, retries := p.addr, p.age, p.done, p.waiters, p.retries
+	timeoutRetries := p.timeoutRetries
 	p.release()
 	if kind == ring.ReadSnoop {
-		e.localReadBody(node, core, addr, age, done, waiters, retries)
+		e.localReadBody(node, core, addr, age, done, waiters, retries, timeoutRetries)
 	} else {
-		e.localWriteBody(node, core, addr, age, done, waiters, retries)
+		e.localWriteBody(node, core, addr, age, done, waiters, retries, timeoutRetries)
 	}
 }
 

@@ -109,6 +109,12 @@ func (e *Engine) deliver(ringIdx, nodeID int, m *ring.Message) {
 	if debugTxn != 0 && m.Txn == debugTxn {
 		fmt.Printf("[%d] dlv at=%d req=%v rep=%v found=%v sq=%v\n", e.now(), nodeID, m.HasRequest, m.HasReply, m.Found, m.Squashed)
 	}
+	if m.Dup {
+		// A fault-injected duplicate: the receiver's sequence check
+		// rejects it on arrival, whatever it carries.
+		e.msgPool.Put(m)
+		return
+	}
 	if m.Requester == nodeID {
 		e.consumeReturn(ringIdx, m)
 		return
@@ -173,7 +179,11 @@ func (e *Engine) handleRequest(ringIdx, nodeID int, m *ring.Message) {
 func (e *Engine) handleReadRequest(ringIdx, nodeID int, m *ring.Message) {
 	n := e.nodes[nodeID]
 	var decision core.Decision
-	if n.pred != nil {
+	if e.forcedEager(m.Addr) {
+		// The watchdog degraded this line: forward eagerly and snoop in
+		// parallel at every node, bypassing predictor and filtering.
+		decision = core.Decision{Primitive: core.ForwardThenSnoop}
+	} else if n.pred != nil {
 		_, actual := n.supplierIdx[m.Addr]
 		superset := n.pred.Kind() == predictorSupersetKind
 		decision = n.policy.DecideRead(func() bool {
@@ -234,7 +244,7 @@ func (e *Engine) handleReadRequest(ringIdx, nodeID int, m *ring.Message) {
 func (e *Engine) handleWriteRequest(ringIdx, nodeID int, m *ring.Message) {
 	n := e.nodes[nodeID]
 	st := n.stateForMsg(m)
-	if n.policy.DecoupleWrites() {
+	if n.policy.DecoupleWrites() || e.forcedEager(m.Addr) {
 		st.mode = modeFTS
 		reqHalf := e.msgPool.CloneFrom(m)
 		reqHalf.HasReply = false

@@ -61,12 +61,18 @@ func (e *Engine) flushTransmits(now sim.Time) {
 			e.arbitrateRing(ri)
 		}
 	}
-	// Stage 2: serial merge in fixed ring-index order.
+	// Stage 2: serial merge in fixed ring-index order. Fault injection
+	// happens here and only here: the stage is serial and its order is
+	// independent of ShardRings, so the injector's sequential decisions
+	// are identical for serial and sharded runs.
 	for ri := range e.txq {
 		r := e.rings[ri]
 		q := e.txq[ri]
 		for i := range q {
 			in := &q[i]
+			if e.inj != nil && e.injectFaults(ri, r, in) {
+				continue // segment dropped
+			}
 			if r.OnSend != nil {
 				r.OnSend(in.start, in.arrive, in.from, in.m)
 			}

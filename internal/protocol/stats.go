@@ -73,6 +73,21 @@ type Stats struct {
 	// Contention diagnostics.
 	BusWaitCycles  uint64
 	MemQueueCycles uint64
+
+	// Fault injection and recovery (zero on fault-free runs).
+	FaultDrops  uint64
+	FaultDups   uint64
+	FaultDelays uint64
+	FaultStalls uint64
+	// SnoopTimeouts counts expired response deadlines that took action
+	// (waiting-on-unfaulted-path re-arms are not counted).
+	SnoopTimeouts uint64
+	// ScavengedStates counts per-node message records reclaimed after
+	// timeouts retired their transactions.
+	ScavengedStates uint64
+	// DegradedLines counts lines the watchdog switched to forced Eager
+	// forwarding.
+	DegradedLines uint64
 }
 
 // HistBucket returns the ReadMissHist bucket index for a latency.

@@ -64,6 +64,11 @@ type txn struct {
 	blockedMsgs []blockedMsg
 
 	retries int
+	// timeoutRetries counts only deadline-driven retransmits (fault
+	// runs). Collision squashes stay unbounded — age arbitration makes
+	// them livelock-free — but timeout retransmits are budgeted, widen
+	// the next attempt's deadline and back off exponentially.
+	timeoutRetries int
 }
 
 type blockedMsg struct {
@@ -99,7 +104,7 @@ func (e *Engine) issueTxn(t *txn) {
 // restart re-executes the full access path for a waiter or retried
 // transaction: the local cache state may have changed while it waited.
 func (e *Engine) restart(t *txn) {
-	e.access(t.node, t.core, t.kind, t.addr, t.age, t.done, t.waiters, t.retries)
+	e.access(t.node, t.core, t.kind, t.addr, t.age, t.done, t.waiters, t.retries, t.timeoutRetries)
 }
 
 // launch puts the transaction on the ring.
@@ -137,6 +142,7 @@ func (e *Engine) launch(t *txn) {
 	m.HasRequest, m.HasReply = true, true
 	m.NeedsData = t.kind == ring.WriteSnoop && t.needData
 	e.forward(ringFor(t.addr, e.cfg.NumRings), t.node, m)
+	e.armDeadline(t)
 }
 
 // recordPerfectPrediction models Figure 11's perfect predictor: checked at
@@ -226,6 +232,14 @@ func (e *Engine) onReplyComplete(t *txn) {
 	// without every node's snoop is a protocol bug, not a tolerable
 	// outcome: it would let stale copies survive the write.
 	if !msgAllSnooped(t.snoopedMask, t.node, e.cfg.NumCMPs) {
+		if e.inj != nil {
+			// Under injected faults a delayed reply half can overtake its
+			// own request around the ring and return with a partial sweep.
+			// The sweep is unusable: squash and retransmit.
+			e.squashLocal(t)
+			e.finishSquashed(t)
+			return
+		}
 		panic(fmt.Sprintf("protocol: write txn %d completed with partial invalidation mask %b", t.id, t.snoopedMask))
 	}
 	if t.needData {
@@ -311,9 +325,22 @@ func (e *Engine) finishSquashed(t *txn) {
 // repeatedly colliding transactions), preserving age, waiters and the
 // completion callback.
 func (e *Engine) scheduleRetry(t *txn) {
+	mult := t.retries + 1
+	if mult > 16 {
+		mult = 16
+	}
+	e.retryAfter(t, sim.Time(e.cfg.RetryBackoffCycles*mult))
+}
+
+// retryAfter retires this attempt and reissues it after an explicit
+// backoff, preserving age, waiters and the completion callback. Collision
+// squashes back off linearly (scheduleRetry); timeout retransmits back
+// off exponentially (onTxnDeadline).
+func (e *Engine) retryAfter(t *txn, backoff sim.Time) {
 	retry := &txn{
 		kind: t.kind, addr: t.addr, node: t.node, core: t.core,
 		age: t.age, done: t.done, waiters: t.waiters, retries: t.retries + 1,
+		timeoutRetries: t.timeoutRetries,
 	}
 	t.waiters = nil
 	if e.tel != nil {
@@ -321,11 +348,21 @@ func (e *Engine) scheduleRetry(t *txn) {
 	}
 	e.retire(t)
 	e.stats.Retries++
-	mult := retry.retries
-	if mult > 16 {
-		mult = 16
+	if e.retryLines == nil {
+		e.kern.After(backoff, func() { e.restart(retry) })
+		return
 	}
-	e.kern.After(sim.Time(e.cfg.RetryBackoffCycles*mult), func() { e.restart(retry) })
+	// Fault runs track parked retries per line so the watchdog's
+	// degradation pass sees work hiding in backoff timers.
+	e.retryLines[retry.addr]++
+	e.kern.After(backoff, func() {
+		if c := e.retryLines[retry.addr]; c > 1 {
+			e.retryLines[retry.addr] = c - 1
+		} else {
+			delete(e.retryLines, retry.addr)
+		}
+		e.restart(retry)
+	})
 }
 
 // deliverData handles a data-transfer message (torus) arriving at the
@@ -333,6 +370,14 @@ func (e *Engine) scheduleRetry(t *txn) {
 func (e *Engine) deliverData(txnID ring.TxnID, version uint64, dirty bool) {
 	t, ok := e.byID[txnID]
 	if !ok {
+		return
+	}
+	if t.memPhase {
+		// Only possible under injected faults: a delayed request half was
+		// re-snooped after a reordered negative reply already sent us to
+		// memory. memReadDone owns completion now, and the supplier kept
+		// (read) or wrote back (write) its copy, so dropping this late
+		// transfer loses nothing.
 		return
 	}
 	t.dataArrived = true

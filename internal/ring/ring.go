@@ -84,6 +84,11 @@ type Message struct {
 
 	// InvAcks counts nodes that completed invalidation (write snoops).
 	InvAcks int
+
+	// Dup marks a fault-injected duplicate of an already-delivered
+	// segment; receivers discard it on arrival (the sequence-number
+	// check of a real link), so it costs bandwidth and delivery only.
+	Dup bool
 }
 
 // Clone returns a copy of the message (for splitting).

@@ -141,6 +141,28 @@ func (c *Collector) TxnComplete(now sim.Time, txn uint64) {
 	c.tracer.complete(uint64(now), txn)
 }
 
+// WatchdogEvent records a watchdog action (a degradation or a verdict)
+// as an instant trace event with free-text detail.
+func (c *Collector) WatchdogEvent(now sim.Time, event, detail string) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.note(uint64(now), event, detail)
+}
+
+// WatchdogDump records the watchdog's transaction-graph dump: a verdict
+// instant followed by one "watchdog-dump" instant per line, preserved in
+// both trace output formats.
+func (c *Collector) WatchdogDump(now sim.Time, verdict string, lines []string) {
+	if c == nil || c.tracer == nil {
+		return
+	}
+	c.tracer.note(uint64(now), "watchdog", verdict)
+	for _, l := range lines {
+		c.tracer.note(uint64(now), "watchdog-dump", l)
+	}
+}
+
 // RingHop records one link-segment transmission (TraceHops only).
 func (c *Collector) RingHop(depart sim.Time, ringIdx, from, to int, txn uint64) {
 	if c == nil || c.tracer == nil || !c.cfg.TraceHops {

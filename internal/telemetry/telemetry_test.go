@@ -47,14 +47,14 @@ func TestSamplerDifferencesSnapshots(t *testing.T) {
 	calls := 0
 	snap := func() Sample {
 		s := Sample{
-			EventsExecuted: uint64(10 * calls),
-			ReadRequests:   uint64(4 * calls),
-			WriteRequests:  uint64(1 * calls),
-			Squashes:       uint64(calls),
-			RingBusyCycles: uint64(500 * calls), // 2 links x 1000 cycles => 0.25/interval
-			RingLinks:      2,
-			PredTP:         uint64(3 * calls),
-			PredFP:         uint64(1 * calls),
+			EventsExecuted:  uint64(10 * calls),
+			ReadRequests:    uint64(4 * calls),
+			WriteRequests:   uint64(1 * calls),
+			Squashes:        uint64(calls),
+			RingBusyCycles:  uint64(500 * calls), // 2 links x 1000 cycles => 0.25/interval
+			RingLinks:       2,
+			PredTP:          uint64(3 * calls),
+			PredFP:          uint64(1 * calls),
 			OutstandingTxns: calls,
 		}
 		calls++

@@ -27,6 +27,8 @@ type event struct {
 	// Hop-only: ring index and destination node.
 	Ring int
 	To   int
+	// Note carries free text for diagnostic instants (watchdog dumps).
+	Note string
 }
 
 // span remembers an open transaction's issue provenance so its Chrome
@@ -71,6 +73,11 @@ func (t *tracer) hop(cycle, txn uint64, ringIdx, from, to int) {
 		Ring: ringIdx, Node: from, To: to})
 }
 
+// note records a diagnostic instant with free text (watchdog dumps).
+func (t *tracer) note(cycle uint64, name, note string) {
+	t.events = append(t.events, event{Cycle: cycle, Name: name, Note: note})
+}
+
 // jsonlEvent is the JSONL wire shape.
 type jsonlEvent struct {
 	Cycle   uint64 `json:"cycle"`
@@ -83,6 +90,7 @@ type jsonlEvent struct {
 	Retries int    `json:"retries,omitempty"`
 	Ring    *int   `json:"ring,omitempty"`
 	To      *int   `json:"to,omitempty"`
+	Note    string `json:"note,omitempty"`
 }
 
 // writeJSONL encodes one event per line.
@@ -101,6 +109,8 @@ func (t *tracer) writeJSONL(w io.Writer) error {
 		case "hop":
 			je.Ring = intp(e.Ring)
 			je.To = intp(e.To)
+		default:
+			je.Note = e.Note
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -203,6 +213,9 @@ func (t *tracer) writeChrome(w io.Writer) error {
 		default:
 			ce = chromeEvent{Name: e.Name, Cat: "txn", Phase: "i", Scope: "p",
 				TS: e.Cycle, PID: e.Node, ID: e.Txn}
+			if e.Note != "" {
+				ce.Args = map[string]any{"note": e.Note}
+			}
 		}
 		if err := emit(ce); err != nil {
 			return err
