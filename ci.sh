@@ -39,10 +39,16 @@ for plan in \
     done
 done
 
+echo "== service smoke =="
+# End-to-end daemon check: build ringsimd, serve on loopback, submit the
+# same job twice (second must hit the result cache), SIGTERM must drain
+# cleanly within the deadline. The test execs the built binary.
+go test -run TestRingsimdSmoke -count=1 ./cmd/ringsimd
+
 echo "== bench (short) =="
 # Record this PR's benchmark numbers; cmd/bench prints comparisons
 # against every prior BENCH_*.json and fails on a >25% throughput
 # regression versus the newest one.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_4.json
+go run ./cmd/bench -short -maxregress 25 -out BENCH_5.json
 
 echo "CI OK"

@@ -79,7 +79,7 @@ func (s *telemetrySink) forCell(alg flexsnoop.Algorithm, workload string) *flexs
 			return nil
 		}
 		path := fmt.Sprintf("%s/%s_%s%s", dir, strings.ToLower(alg.String()), workload, suffix)
-		f, err := os.Create(path)
+		f, err := cli.CreateFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperfigs: telemetry:", err)
 			return nil
@@ -118,6 +118,13 @@ func run(exp string) error {
 	}
 	if !valid {
 		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(validExps, ", "))
+	}
+	// Validate every output directory before simulating anything: a typo'd
+	// -csv should fail in milliseconds, not after the whole matrix ran.
+	for _, dir := range []string{*csvDir, *svgDir, *traceDir, *metricsDir} {
+		if err := cli.EnsureDir(dir); err != nil {
+			return err
+		}
 	}
 
 	needMatrix := map[string]bool{"all": true, "fig4": true, "fig6": true,

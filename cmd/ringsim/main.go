@@ -93,7 +93,7 @@ func run() error {
 		return err
 	}
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := cli.CreateFile(*cpuProfile)
 		if err != nil {
 			return err
 		}
@@ -149,7 +149,7 @@ func run() error {
 		return err
 	}
 	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+		f, err := cli.CreateFile(*memProfile)
 		if err != nil {
 			return err
 		}
@@ -190,7 +190,7 @@ func telemetryFromFlags() (*flexsnoop.TelemetryOptions, func() error, error) {
 		if path == "" {
 			return nil
 		}
-		f, err := os.Create(path)
+		f, err := cli.CreateFile(path)
 		if err != nil {
 			return err
 		}

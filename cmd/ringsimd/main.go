@@ -1,0 +1,105 @@
+// Command ringsimd serves the simulator as a daemon: a JSON job API with
+// a bounded priority queue, a content-addressed result cache, NDJSON
+// streaming of interval telemetry, and graceful SIGTERM drain. See
+// internal/service for the API surface and DESIGN.md §9 for the design.
+//
+// Usage:
+//
+//	ringsimd [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
+//	         [-drain 30s] [-quiet]
+//
+// On startup the daemon prints exactly one line to stdout:
+//
+//	ringsimd listening on http://HOST:PORT
+//
+// so scripts can bind to port 0 and discover the address. On SIGTERM or
+// SIGINT it stops accepting jobs (/readyz turns 503), cancels queued
+// jobs, lets running simulations finish within the -drain deadline, then
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"flexsnoop/internal/service"
+)
+
+var (
+	addrFlag    = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workersFlag = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queueFlag   = flag.Int("queue", 0, "pending-job queue capacity (0 = default 64)")
+	cacheFlag   = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
+	drainFlag   = flag.Duration("drain", 30*time.Second, "graceful-drain deadline for running jobs on shutdown")
+	quietFlag   = flag.Bool("quiet", false, "suppress per-job log lines")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ringsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	logger := log.New(os.Stderr, "ringsimd: ", log.LstdFlags)
+	cfg := service.Config{
+		Workers:       *workersFlag,
+		QueueCapacity: *queueFlag,
+		CacheEntries:  *cacheFlag,
+	}
+	if !*quietFlag {
+		cfg.Logf = logger.Printf
+	}
+	svc := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return err
+	}
+	// The discovery line scripts parse; everything else goes to stderr.
+	fmt.Printf("ringsimd listening on http://%s\n", ln.Addr())
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	logger.Printf("serving on %s (%d workers)", ln.Addr(), workers)
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%s: draining (deadline %s)", sig, *drainFlag)
+		// Drain first, with the API still up so clients can poll the jobs
+		// they already own; then stop the listener.
+		svc.Drain(*drainFlag)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("http shutdown: %w", err)
+		}
+		logger.Printf("drained, exiting")
+		return nil
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

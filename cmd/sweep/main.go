@@ -8,9 +8,17 @@
 //
 //	sweep [-ops 2000] [-seed 1] [-apps a,b,c] [-v]
 //	      [-faults "kind=drop,rate=0.05,seed=1"]
+//	      [-remote http://HOST:PORT] [-parallel N]
+//
+// With -remote, every cell of the sweep is submitted to a running
+// ringsimd server (see cmd/ringsimd) instead of simulating in-process.
+// The simulator is deterministic, so remote results are bit-identical
+// and the reported figures are unchanged; the server's queue provides
+// the backpressure, and its cache collapses repeated sweeps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,7 @@ import (
 
 	"flexsnoop"
 	"flexsnoop/internal/cli"
+	"flexsnoop/internal/service"
 	"flexsnoop/internal/stats"
 )
 
@@ -28,6 +37,8 @@ var (
 	appsFlag   = flag.String("apps", "", "comma-separated SPLASH-2 subset")
 	verbose    = flag.Bool("v", false, "per-run progress")
 	faultsFlag = flag.String("faults", "", "fault plan applied to every run (see ringsim -faults)")
+	remoteFlag = flag.String("remote", "", "submit every run to this ringsimd base URL instead of simulating in-process")
+	parFlag    = flag.Int("parallel", 0, "concurrent cells (default GOMAXPROCS; with -remote, in-flight submissions)")
 )
 
 func main() {
@@ -46,6 +57,17 @@ func main() {
 	}
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	opts.Parallelism = *parFlag
+	if *remoteFlag != "" {
+		c := &service.Client{BaseURL: strings.TrimRight(*remoteFlag, "/")}
+		opts.Runner = func(ctx context.Context, alg flexsnoop.Algorithm, workload string, o flexsnoop.Options) (flexsnoop.Result, error) {
+			spec, err := service.SpecFor(alg, workload, o)
+			if err != nil {
+				return flexsnoop.Result{}, err
+			}
+			return c.Run(ctx, spec)
+		}
 	}
 	s, err := flexsnoop.RunSensitivity(opts)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 
 	"flexsnoop/internal/config"
@@ -39,7 +40,17 @@ type FigureOptions struct {
 	// workload) cell of a matrix run; a non-nil return enables telemetry
 	// for that cell's simulation. It is called sequentially while jobs
 	// are being created, so it may open files without synchronisation.
+	// Not consulted when Runner is set.
 	TelemetryFor func(alg Algorithm, workload string) *TelemetryOptions
+	// Runner, when non-nil, replaces the in-process simulator for every
+	// cell the matrix and sensitivity drivers run: it receives the cell's
+	// exact configuration and must return its Result. `sweep -remote`
+	// uses this to farm a sweep out to a ringsimd server; because the
+	// simulator is deterministic, a remote Result is bit-identical to the
+	// in-process one, so derived figures are unchanged. When Runner is
+	// set, TelemetryFor is ignored (telemetry belongs to the executing
+	// side — stream it from the server instead).
+	Runner func(ctx context.Context, alg Algorithm, workload string, opts Options) (Result, error)
 	// Context, when non-nil, cancels the whole driver: in-flight
 	// simulations stop between events, and no further jobs launch. A nil
 	// or Background context costs nothing.
@@ -54,6 +65,16 @@ type FigureOptions struct {
 	// CheckEvery arms the continuous invariant checker for every
 	// simulation the driver runs (see Options.CheckEvery).
 	CheckEvery uint64
+}
+
+// runCell dispatches one driver cell to the Runner override or the
+// in-process simulator. Profiles handed to the drivers are always the
+// canonical named workloads, so dispatching by name is faithful.
+func (o FigureOptions) runCell(ctx context.Context, alg Algorithm, prof Profile, opts Options) (Result, error) {
+	if o.Runner != nil {
+		return o.Runner(ctx, alg, prof.Name, opts)
+	}
+	return RunProfileContext(ctx, alg, prof, opts)
 }
 
 // ctx returns the driver's context, defaulting to Background.
@@ -232,11 +253,11 @@ func RunMatrix(opts FigureOptions) (*Matrix, error) {
 		for _, prof := range profiles {
 			alg, prof := alg, prof
 			var tel *TelemetryOptions
-			if o.TelemetryFor != nil {
+			if o.TelemetryFor != nil && o.Runner == nil {
 				tel = o.TelemetryFor(alg, prof.Name)
 			}
 			jobs = append(jobs, poolJob{label: fmt.Sprintf("%v/%s", alg, prof.Name), run: func() error {
-				res, err := RunProfileContext(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel, ShardRings: o.ShardRings, Faults: o.Faults, CheckEvery: o.CheckEvery})
+				res, err := o.runCell(o.ctx(), alg, prof, Options{OpsPerCore: o.OpsPerCore, Seed: o.Seed, Telemetry: tel, ShardRings: o.ShardRings, Faults: o.Faults, CheckEvery: o.CheckEvery})
 				if err != nil {
 					return fmt.Errorf("flexsnoop: %v on %s: %w", alg, prof.Name, err)
 				}
@@ -467,7 +488,7 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 					alg, cl, pi, pc, fi, prof := alg, cl, pi, pc, fi, prof
 					jobs = append(jobs, poolJob{label: fmt.Sprintf("%v/%s/%s", alg, pc.Name, prof.Name), run: func() error {
 						pc := pc
-						res, err := RunProfile(alg, prof, Options{
+						res, err := o.runCell(o.ctx(), alg, prof, Options{
 							OpsPerCore: o.OpsPerCore, Seed: o.Seed, Predictor: &pc,
 							Faults: o.Faults, CheckEvery: o.CheckEvery,
 						})
@@ -491,8 +512,19 @@ func RunSensitivity(opts FigureOptions) (*Sensitivity, error) {
 		return nil, err
 	}
 
+	// Aggregate in sorted algorithm order: Perfect is filled from the
+	// first algorithm with oracle accuracy data per class, so map-order
+	// iteration would make Figure 11 nondeterministic run to run.
+	specs := sensitivitySpecs()
+	specAlgs := make([]Algorithm, 0, len(specs))
+	for alg := range specs {
+		specAlgs = append(specAlgs, alg)
+	}
+	sort.Slice(specAlgs, func(i, j int) bool { return specAlgs[i] < specAlgs[j] })
+
 	out := &Sensitivity{Perfect: map[string][4]float64{}}
-	for alg, preds := range sensitivitySpecs() {
+	for _, alg := range specAlgs {
+		preds := specs[alg]
 		for _, cl := range classes {
 			var cycles [3]float64
 			var accs [3]predictor.Accuracy

@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flexsnoop/internal/config"
+)
+
+// EnsureDir makes sure dir exists, creating missing parents. Failures
+// wrap config.ErrBadConfig — an unwritable output directory is an
+// operator mistake, so tools exit with ExitUsage, and validating up
+// front means a typo'd -csv/-tracedir fails before a long matrix run
+// rather than after it.
+func EnsureDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%w: output directory %q: %v", config.ErrBadConfig, dir, err)
+	}
+	return nil
+}
+
+// CreateFile creates (truncates) an output file, first creating any
+// missing parent directories, so `-metrics out/run1/metrics.csv` works
+// without a prior mkdir. Failures wrap config.ErrBadConfig.
+func CreateFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := EnsureDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: output file %q: %v", config.ErrBadConfig, path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flexsnoop/internal/config"
+)
+
+func TestEnsureDirCreatesParents(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "c")
+	if err := EnsureDir(dir); err != nil {
+		t.Fatalf("EnsureDir: %v", err)
+	}
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		t.Fatalf("stat %s: %v, %v", dir, st, err)
+	}
+	// Idempotent on an existing directory; a no-op on "".
+	if err := EnsureDir(dir); err != nil {
+		t.Errorf("EnsureDir existing: %v", err)
+	}
+	if err := EnsureDir(""); err != nil {
+		t.Errorf("EnsureDir empty: %v", err)
+	}
+}
+
+func TestEnsureDirUnwritable(t *testing.T) {
+	base := t.TempDir()
+	// A regular file where a path component should be a directory.
+	blocker := filepath.Join(base, "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := EnsureDir(filepath.Join(blocker, "sub"))
+	if !errors.Is(err, config.ErrBadConfig) {
+		t.Errorf("EnsureDir under a file = %v, want ErrBadConfig (ExitUsage)", err)
+	}
+	if ExitCode(err) != ExitUsage {
+		t.Errorf("ExitCode = %d, want %d", ExitCode(err), ExitUsage)
+	}
+}
+
+func TestCreateFileMakesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "run1", "metrics.csv")
+	f, err := CreateFile(path)
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	if _, err := f.WriteString("cycle\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	// Bare filenames (no directory component) work in the cwd.
+	if f, err := CreateFile(filepath.Join(t.TempDir(), "bare.csv")); err != nil {
+		t.Errorf("CreateFile bare: %v", err)
+	} else {
+		f.Close()
+	}
+}
+
+func TestCreateFileUnwritable(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := CreateFile(filepath.Join(blocker, "out.csv"))
+	if !errors.Is(err, config.ErrBadConfig) {
+		t.Errorf("CreateFile under a file = %v, want ErrBadConfig", err)
+	}
+	// Creating the directory itself as a file also fails cleanly.
+	if _, err := CreateFile(base); err == nil {
+		t.Error("CreateFile over an existing directory succeeded")
+	}
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+
+	"flexsnoop"
+)
+
+// resultCache is the content-addressed result store: completed Results
+// keyed by job fingerprint, evicted least-recently-used beyond the
+// capacity. Because the simulator is deterministic — a rerun of the same
+// fingerprint is bit-identical — serving a cached Result is exactly
+// equivalent to running the job again.
+//
+// The cache is not self-synchronising; the Server's mutex guards it.
+type resultCache struct {
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	fp     string
+	result flexsnoop.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached result for a fingerprint and counts the lookup.
+func (c *resultCache) Get(fp string) (flexsnoop.Result, bool) {
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return flexsnoop.Result{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// Put stores a completed result, evicting the LRU entry beyond capacity.
+func (c *resultCache) Put(fp string, res flexsnoop.Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.entries[fp]; ok {
+		el.Value.(*cacheEntry).result = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[fp] = c.order.PushFront(&cacheEntry{fp: fp, result: res})
+	for len(c.entries) > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).fp)
+	}
+}
+
+// Len reports the number of cached results.
+func (c *resultCache) Len() int { return len(c.entries) }

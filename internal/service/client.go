@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flexsnoop"
+)
+
+// Client is a minimal stdlib client for a ringsimd server, used by
+// `sweep -remote` and the smoke tests. The zero HTTPClient and poll
+// interval get sensible defaults.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polls (default 50ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// remoteError is a non-2xx API response surfaced as a Go error.
+type remoteError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request and decodes a JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		re := &remoteError{StatusCode: resp.StatusCode, Message: msg}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				re.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return re
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a job once. A full queue comes back as a *remoteError
+// with StatusCode 429; SubmitWait retries that case.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// SubmitWait submits with bounded-backoff retries on queue-full
+// backpressure (429 + Retry-After), then polls until the job reaches a
+// terminal state.
+func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	backoff := c.poll()
+	for {
+		st, err := c.Submit(ctx, spec)
+		if err == nil {
+			return c.Wait(ctx, st.ID)
+		}
+		re, ok := err.(*remoteError)
+		if !ok || re.StatusCode != http.StatusTooManyRequests {
+			return JobStatus{}, err
+		}
+		wait := backoff
+		if re.RetryAfter > 0 && re.RetryAfter < wait {
+			wait = re.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(wait):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it is done, failed, or canceled.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(c.poll()):
+		}
+	}
+}
+
+// Run submits (with backpressure retry), waits, and returns the Result —
+// the remote analogue of flexsnoop.RunContext. The Result is
+// bit-identical to an in-process run of the same configuration.
+func (c *Client) Run(ctx context.Context, spec JobSpec) (flexsnoop.Result, error) {
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		return flexsnoop.Result{}, err
+	}
+	switch st.State {
+	case StateDone:
+		return *st.Result, nil
+	case StateCanceled:
+		return flexsnoop.Result{}, context.Canceled
+	default:
+		return flexsnoop.Result{}, fmt.Errorf("service: job %s failed: %s", st.ID, st.Error)
+	}
+}
+
+// Stats fetches the server's /statsz snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &st)
+	return st, err
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs              submit a JobSpec; 202 (queued/deduped) or
+//	                             200 (cache hit), 400 on a bad spec, 429 +
+//	                             Retry-After when the queue is full, 503
+//	                             while draining
+//	GET    /v1/jobs/{id}         job status; Result inline once done
+//	DELETE /v1/jobs/{id}         cancel; idempotent on finished jobs
+//	GET    /v1/jobs/{id}/metrics NDJSON interval-telemetry stream: full
+//	                             replay, then live rows until the run ends
+//	GET    /healthz              liveness (always 200 while serving)
+//	GET    /readyz               readiness (503 once draining)
+//	GET    /statsz               Stats snapshot as JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics streams a job's interval telemetry as NDJSON: one
+// telemetry.Row object per line, flushed as produced. Subscribers that
+// attach mid-run (or after completion) first replay the retained series,
+// then tail live rows until the execution finishes or the client goes
+// away. A cache-hit job has no execution and yields an empty stream.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hub, err := s.Stream(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if hub == nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for from := 0; ; {
+		rows, done := hub.next(r.Context(), from)
+		for _, row := range rows {
+			if err := enc.Encode(row); err != nil {
+				return // client went away
+			}
+		}
+		from += len(rows)
+		if flusher != nil && len(rows) > 0 {
+			flusher.Flush()
+		}
+		if done && len(rows) == 0 {
+			return
+		}
+		if done {
+			// Drain any rows published between next and here, then stop.
+			continue
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import "container/heap"
+
+// jobQueue is a bounded priority queue of pending executions: higher
+// Priority first, FIFO within a priority level (ordered by admission
+// sequence). Push refuses work beyond the capacity — the caller turns
+// that into HTTP 429 backpressure instead of queueing unboundedly.
+//
+// The queue is not self-synchronising; the Server's mutex guards it.
+type jobQueue struct {
+	capacity int
+	items    execHeap
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{capacity: capacity}
+}
+
+// Len reports the queue depth.
+func (q *jobQueue) Len() int { return len(q.items) }
+
+// Push admits an execution, or reports false when the queue is full.
+func (q *jobQueue) Push(ex *execution) bool {
+	if len(q.items) >= q.capacity {
+		return false
+	}
+	heap.Push(&q.items, ex)
+	return true
+}
+
+// Pop removes and returns the highest-priority execution, or nil.
+func (q *jobQueue) Pop() *execution {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*execution)
+}
+
+// Remove detaches a queued execution (cancellation), reporting whether it
+// was actually queued.
+func (q *jobQueue) Remove(ex *execution) bool {
+	if ex.queueIndex < 0 || ex.queueIndex >= len(q.items) || q.items[ex.queueIndex] != ex {
+		return false
+	}
+	heap.Remove(&q.items, ex.queueIndex)
+	return true
+}
+
+// execHeap implements container/heap ordering: max priority, then min
+// admission sequence.
+type execHeap []*execution
+
+func (h execHeap) Len() int { return len(h) }
+func (h execHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h execHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].queueIndex = i
+	h[j].queueIndex = j
+}
+func (h *execHeap) Push(x any) {
+	ex := x.(*execution)
+	ex.queueIndex = len(*h)
+	*h = append(*h, ex)
+}
+func (h *execHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ex := old[n-1]
+	old[n-1] = nil
+	ex.queueIndex = -1
+	*h = old[:n-1]
+	return ex
+}

@@ -1,0 +1,583 @@
+// Package service turns the simulator into an embeddable
+// simulation-as-a-service job server: a JSON job API backed by a bounded
+// priority queue with backpressure, a worker pool, a content-addressed
+// result cache with in-flight deduplication, streaming interval
+// telemetry, and graceful drain.
+//
+// The design leans on two properties the engine already guarantees.
+// Determinism (reruns of one configuration are bit-identical) makes the
+// content-addressed cache exactly correct: a Result served from cache is
+// indistinguishable from a fresh simulation, so identical submissions —
+// concurrent or not — collapse into one run. Cancellation (RunContext
+// stops between events) makes DELETE and graceful drain cheap: a
+// cancelled job never corrupts shared state because every run builds its
+// own machine.
+//
+// cmd/ringsimd wraps the package in a daemon; sweep -remote and the
+// Client type consume it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"flexsnoop"
+)
+
+// Job lifecycle states, as reported by the API.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull: the bounded queue refused the job (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("service: server draining")
+	// ErrUnknownJob: no job with that ID (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Config sizes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	// Each simulation is an independent single-threaded event kernel, so
+	// workers scale linearly until cores saturate.
+	Workers int
+	// QueueCapacity bounds the pending-job queue (default 64). Beyond
+	// it, submissions fail with ErrQueueFull — backpressure, not OOM.
+	QueueCapacity int
+	// CacheEntries bounds the content-addressed result cache (default
+	// 256, LRU eviction). Zero disables caching entirely.
+	CacheEntries int
+	// FinishedJobRetention bounds how many finished (done, failed,
+	// canceled) job records remain queryable (default 1024). Older
+	// finished jobs are forgotten oldest-first.
+	FinishedJobRetention int
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	} else if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.FinishedJobRetention <= 0 {
+		c.FinishedJobRetention = 1024
+	}
+	return c
+}
+
+// execution is one actual simulation: the unit the queue, the worker
+// pool and the in-flight dedup map operate on. Several jobs (identical
+// submissions) may be attached to one execution.
+type execution struct {
+	fp       string
+	job      flexsnoop.Job
+	label    string // "Algorithm/workload" pprof + log label
+	interval uint64 // metrics streaming interval
+
+	priority   int
+	seq        uint64
+	queueIndex int // heap index; -1 when not queued
+
+	state  string
+	jobs   []*job
+	live   int // attached jobs not individually cancelled
+	ctx    context.Context
+	cancel context.CancelFunc
+	hub    *metricsHub
+	done   chan struct{}
+	result flexsnoop.Result
+	err    error
+}
+
+// job is one submission. A cache hit produces a job with no execution.
+type job struct {
+	id       string
+	fp       string
+	exec     *execution // nil iff served from cache
+	cached   bool
+	canceled bool
+	result   flexsnoop.Result // cached result (exec == nil only)
+}
+
+// JobStatus is the API's view of one job.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Cached marks a submission answered from the result cache without
+	// simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Result is present once State is "done". It is the simulator's
+	// native Result object, bit-identical to an in-process run of the
+	// same configuration.
+	Result *flexsnoop.Result `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{ID: j.id, Fingerprint: j.fp, Cached: j.cached}
+	switch {
+	case j.cached:
+		st.State = StateDone
+		res := j.result
+		st.Result = &res
+	case j.canceled:
+		st.State = StateCanceled
+	default:
+		st.State = j.exec.state
+		switch j.exec.state {
+		case StateDone:
+			res := j.exec.result
+			st.Result = &res
+		case StateFailed:
+			st.Error = j.exec.err.Error()
+		}
+	}
+	return st
+}
+
+// Server is the job server. Create it with New, serve its Handler, and
+// stop it with Drain (or Close in tests).
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu    sync.Mutex
+	cond  *sync.Cond // signals workers: queue non-empty or shutdown
+	jobs  map[string]*job
+	order []string // job insertion order, for finished-job eviction
+	execs map[string]*execution
+	queue *jobQueue
+	cache *resultCache
+	wg    sync.WaitGroup
+
+	draining bool
+	seq      uint64
+	busy     int
+
+	// Cumulative counters (reported by /statsz).
+	submitted, rejected, deduped       uint64
+	runsCompleted, runsFailed          uint64
+	runsCanceled                       uint64
+	simCycles                          uint64
+	faultDrops, faultDups, faultDelays uint64
+	faultStalls, snoopTimeouts         uint64
+	degradedLines                      uint64
+}
+
+// New builds and starts a server: its worker pool is live on return.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+		jobs:  make(map[string]*job),
+		execs: make(map[string]*execution),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.queue = newJobQueue(s.cfg.QueueCapacity)
+	s.cache = newResultCache(s.cfg.CacheEntries)
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates a spec and admits it: served from cache, attached to
+// an identical in-flight execution, or queued. Errors are either
+// validation failures (wrap the flexsnoop sentinels), ErrQueueFull or
+// ErrDraining.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	fj, err := spec.Job()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	fp := fj.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.submitted++
+
+	// Content-addressed cache: a completed identical run answers
+	// immediately, without a queue slot.
+	if res, ok := s.cache.Get(fp); ok {
+		j := s.newJobLocked(fp, nil)
+		j.cached = true
+		j.result = res
+		s.logf("job %s %s cache-hit (%s)", j.id, fj.Algorithm.String()+"/"+fj.Workload, shortFP(fp))
+		return j.statusLocked(), nil
+	}
+
+	// In-flight dedup (singleflight): identical concurrent submissions
+	// share one execution and therefore one simulation.
+	if ex, ok := s.execs[fp]; ok {
+		j := s.newJobLocked(fp, ex)
+		ex.jobs = append(ex.jobs, j)
+		ex.live++
+		s.deduped++
+		s.logf("job %s %s deduped onto %s", j.id, ex.label, shortFP(fp))
+		return j.statusLocked(), nil
+	}
+
+	interval := spec.Options.IntervalCycles
+	ctx, cancel := context.WithCancel(context.Background())
+	ex := &execution{
+		fp:       fp,
+		job:      fj,
+		label:    fj.Algorithm.String() + "/" + fj.Workload,
+		interval: interval,
+		priority: spec.Priority,
+		seq:      s.seq,
+		state:    StateQueued,
+		ctx:      ctx,
+		cancel:   cancel,
+		hub:      newMetricsHub(),
+		done:     make(chan struct{}),
+	}
+	if !s.queue.Push(ex) {
+		cancel()
+		s.rejected++
+		return JobStatus{}, ErrQueueFull
+	}
+	j := s.newJobLocked(fp, ex)
+	ex.jobs = []*job{j}
+	ex.live = 1
+	s.execs[fp] = ex
+	s.cond.Signal()
+	s.logf("job %s %s queued (%s, priority %d)", j.id, ex.label, shortFP(fp), spec.Priority)
+	return j.statusLocked(), nil
+}
+
+// newJobLocked allocates a job record and evicts over-retention finished
+// jobs oldest-first.
+func (s *Server) newJobLocked(fp string, ex *execution) *job {
+	s.seq++
+	j := &job{id: fmt.Sprintf("j-%06d", s.seq), fp: fp, exec: ex}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.jobs) > s.cfg.FinishedJobRetention {
+		evicted := false
+		for i, id := range s.order {
+			old, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if st := old.statusLocked().State; st == StateDone || st == StateFailed || st == StateCanceled {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything live; let the map grow rather than lose state
+		}
+	}
+	return j
+}
+
+// Status reports one job.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.statusLocked(), nil
+}
+
+// Cancel cancels one job. Cancelling the last live job of an execution
+// cancels the simulation itself: dequeued if still queued, interrupted
+// via its context if running. Finished jobs are unaffected (idempotent).
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	st := j.statusLocked()
+	if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
+		return st, nil
+	}
+	j.canceled = true
+	ex := j.exec
+	ex.live--
+	if ex.live == 0 {
+		if s.queue.Remove(ex) {
+			// Still queued: no worker will ever see it; finalise here.
+			s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
+		} else {
+			// Running: interrupt the simulation; the worker finalises.
+			ex.cancel()
+		}
+	}
+	s.logf("job %s %s canceled", j.id, ex.label)
+	return j.statusLocked(), nil
+}
+
+// Stream returns the metrics hub for a job's execution. A cache-hit job
+// has no execution and streams nothing: ok is true with a nil hub.
+func (s *Server) Stream(id string) (hub *metricsHub, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.exec == nil {
+		return nil, nil
+	}
+	return j.exec.hub, nil
+}
+
+// worker is one pool goroutine: pop, simulate, finalise, repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queue.Len() == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		ex := s.queue.Pop()
+		if ex == nil {
+			s.mu.Unlock()
+			return // draining and nothing left to pop
+		}
+		if ex.live == 0 {
+			// Every attached job was cancelled while queued.
+			s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
+			s.mu.Unlock()
+			continue
+		}
+		ex.state = StateRunning
+		s.busy++
+		s.mu.Unlock()
+		s.logf("job run %s (%s)", ex.label, shortFP(ex.fp))
+
+		res, err := s.runExecution(ex)
+
+		s.mu.Lock()
+		s.busy--
+		s.finalizeLocked(ex, res, err)
+		s.mu.Unlock()
+	}
+}
+
+// runExecution performs the simulation outside the server lock, labelled
+// for pprof so a CPU profile of the daemon attributes time per job, and
+// with the streaming telemetry tap installed.
+func (s *Server) runExecution(ex *execution) (res flexsnoop.Result, err error) {
+	opts := ex.job.Options
+	opts.Telemetry = &flexsnoop.TelemetryOptions{
+		OnRow:          ex.hub.publish,
+		IntervalCycles: ex.interval,
+	}
+	pprof.Do(ex.ctx, pprof.Labels("job", ex.label), func(ctx context.Context) {
+		res, err = flexsnoop.RunJobContext(ctx, flexsnoop.Job{
+			Algorithm: ex.job.Algorithm,
+			Workload:  ex.job.Workload,
+			Options:   opts,
+		})
+	})
+	return res, err
+}
+
+// finalizeLocked moves an execution to its terminal state, feeds the
+// cache and counters, and releases waiters.
+func (s *Server) finalizeLocked(ex *execution, res flexsnoop.Result, err error) {
+	delete(s.execs, ex.fp)
+	switch {
+	case err == nil:
+		ex.state = StateDone
+		ex.result = res
+		s.cache.Put(ex.fp, res)
+		s.runsCompleted++
+		s.simCycles += uint64(res.Cycles)
+		s.faultDrops += res.Stats.FaultDrops
+		s.faultDups += res.Stats.FaultDups
+		s.faultDelays += res.Stats.FaultDelays
+		s.faultStalls += res.Stats.FaultStalls
+		s.snoopTimeouts += res.Stats.SnoopTimeouts
+		s.degradedLines += res.Stats.DegradedLines
+		s.logf("job done %s (%d cycles)", ex.label, res.Cycles)
+	case errors.Is(err, context.Canceled):
+		ex.state = StateCanceled
+		ex.err = err
+		s.runsCanceled++
+		s.logf("job canceled %s", ex.label)
+	default:
+		ex.state = StateFailed
+		ex.err = err
+		s.runsFailed++
+		s.logf("job failed %s: %v", ex.label, err)
+	}
+	ex.cancel() // release the context's resources
+	ex.hub.close()
+	close(ex.done)
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: new submissions are refused,
+// queued jobs are cancelled, and running simulations get until timeout
+// to finish before their contexts are cancelled. Drain returns once
+// every worker has exited; it is safe to call more than once.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	for {
+		ex := s.queue.Pop()
+		if ex == nil {
+			break
+		}
+		for _, j := range ex.jobs {
+			j.canceled = true
+		}
+		s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if already {
+		s.wg.Wait()
+		return
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		// Deadline passed: interrupt the runs still in flight. RunContext
+		// stops between simulated events, so this converges promptly.
+		s.mu.Lock()
+		for _, ex := range s.execs {
+			ex.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.logf("drained")
+}
+
+// Close shuts down immediately: running jobs are cancelled. For tests.
+func (s *Server) Close() { s.Drain(0) }
+
+// Stats is the /statsz snapshot.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Workers       int `json:"workers"`
+	BusyWorkers   int `json:"busy_workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	JobsSubmitted uint64         `json:"jobs_submitted"`
+	JobsRejected  uint64         `json:"jobs_rejected"`
+	JobsDeduped   uint64         `json:"jobs_deduped"`
+	JobStates     map[string]int `json:"job_states"`
+
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+
+	RunsCompleted  uint64 `json:"runs_completed"`
+	RunsFailed     uint64 `json:"runs_failed"`
+	RunsCanceled   uint64 `json:"runs_canceled"`
+	SimCyclesTotal uint64 `json:"sim_cycles_total"`
+
+	// Robustness counters aggregated over completed runs.
+	FaultDrops    uint64 `json:"fault_drops"`
+	FaultDups     uint64 `json:"fault_dups"`
+	FaultDelays   uint64 `json:"fault_delays"`
+	FaultStalls   uint64 `json:"fault_stalls"`
+	SnoopTimeouts uint64 `json:"snoop_timeouts"`
+	DegradedLines uint64 `json:"degraded_lines"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Draining:       s.draining,
+		Workers:        s.cfg.Workers,
+		BusyWorkers:    s.busy,
+		QueueDepth:     s.queue.Len(),
+		QueueCapacity:  s.cfg.QueueCapacity,
+		JobsSubmitted:  s.submitted,
+		JobsRejected:   s.rejected,
+		JobsDeduped:    s.deduped,
+		JobStates:      map[string]int{},
+		CacheEntries:   s.cache.Len(),
+		CacheCapacity:  s.cfg.CacheEntries,
+		CacheHits:      s.cache.hits,
+		CacheMisses:    s.cache.misses,
+		RunsCompleted:  s.runsCompleted,
+		RunsFailed:     s.runsFailed,
+		RunsCanceled:   s.runsCanceled,
+		SimCyclesTotal: s.simCycles,
+		FaultDrops:     s.faultDrops,
+		FaultDups:      s.faultDups,
+		FaultDelays:    s.faultDelays,
+		FaultStalls:    s.faultStalls,
+		SnoopTimeouts:  s.snoopTimeouts,
+		DegradedLines:  s.degradedLines,
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	for _, j := range s.jobs {
+		st.JobStates[j.statusLocked().State]++
+	}
+	return st
+}
+
+// shortFP abbreviates a fingerprint for logs.
+func shortFP(fp string) string {
+	if len(fp) > 17 {
+		return fp[:17]
+	}
+	return fp
+}

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"flexsnoop/internal/telemetry"
+)
+
+// metricsHub fans one running simulation's interval telemetry out to any
+// number of HTTP subscribers. The publisher is the simulation goroutine
+// (via telemetry.Config.OnRow); subscribers are request handlers. Rows
+// are retained for the execution's lifetime, so a subscriber that
+// attaches late — or after the run completed — replays the full series
+// before tailing live rows. publish only appends under a short critical
+// section, keeping the simulation's wait bounded.
+type metricsHub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rows   []telemetry.Row
+	closed bool
+}
+
+func newMetricsHub() *metricsHub {
+	h := &metricsHub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// publish appends a row and wakes subscribers. Safe to call from exactly
+// one goroutine at a time (the collector is single-goroutine).
+func (h *metricsHub) publish(r telemetry.Row) {
+	h.mu.Lock()
+	h.rows = append(h.rows, r)
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// close marks the stream complete and releases all subscribers.
+func (h *metricsHub) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+// next blocks until rows beyond index from exist, the hub closes, or ctx
+// is done. It returns the new rows (shared backing array; rows are
+// value-typed and append-only, so readers never see mutation) and whether
+// the stream is finished.
+func (h *metricsHub) next(ctx context.Context, from int) (rows []telemetry.Row, done bool) {
+	stop := context.AfterFunc(ctx, func() { h.cond.Broadcast() })
+	defer stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.rows) <= from && !h.closed && ctx.Err() == nil {
+		h.cond.Wait()
+	}
+	if len(h.rows) > from {
+		rows = h.rows[from:]
+	}
+	return rows, h.closed || ctx.Err() != nil
+}

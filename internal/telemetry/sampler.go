@@ -7,30 +7,34 @@ import (
 	"flexsnoop/internal/stats"
 )
 
-// row is one emitted interval of the time-series.
-type row struct {
-	Cycle uint64 // end of the interval
+// Row is one emitted interval of the time-series. The JSON tags match the
+// metrics CSV column names, so the NDJSON stream a job server exposes and
+// the CSV file a batch run writes describe the same schema.
+type Row struct {
+	Cycle uint64 `json:"cycle"` // end of the interval
 	// Per-interval deltas.
-	Events   uint64
-	Reads    uint64
-	Writes   uint64
-	SnoopOps uint64
-	Squashes uint64
-	Retries  uint64
-	EnergyNJ float64
+	Events   uint64  `json:"events"`
+	Reads    uint64  `json:"read_reqs"`
+	Writes   uint64  `json:"write_reqs"`
+	SnoopOps uint64  `json:"snoop_ops"`
+	Squashes uint64  `json:"squashes"`
+	Retries  uint64  `json:"retries"`
+	EnergyNJ float64 `json:"energy_nj"`
 	// Instantaneous gauges at the boundary.
-	Outstanding int
-	QueueDepth  int
+	Outstanding int `json:"outstanding_txns"`
+	QueueDepth  int `json:"queue_depth"`
 	// Derived occupancy fractions (reserved cycles per resource-cycle in
 	// the interval; can transiently exceed 1 because reservations book
 	// their full duration up front).
-	RingOcc float64
-	BusOcc  float64
-	DRAMOcc float64
+	RingOcc float64 `json:"ring_occupancy"`
+	BusOcc  float64 `json:"bus_occupancy"`
+	DRAMOcc float64 `json:"dram_occupancy"`
 	// SquashRate is squashes per ring request issued this interval.
-	SquashRate float64
+	SquashRate float64 `json:"squash_rate"`
 	// Predictor accuracy fractions over this interval's classifications.
-	TP, FP, FN float64
+	TP float64 `json:"pred_tp"`
+	FP float64 `json:"pred_fp"`
+	FN float64 `json:"pred_fn"`
 }
 
 // sampler turns cumulative Sample snapshots into interval rows. It is
@@ -39,15 +43,16 @@ type row struct {
 type sampler struct {
 	interval uint64
 	snapshot func() Sample
+	onRow    func(Row)
 
 	last      Sample
 	lastCycle uint64
 	next      uint64
-	rows      []row
+	rows      []Row
 }
 
-func newSampler(interval uint64) *sampler {
-	return &sampler{interval: interval}
+func newSampler(interval uint64, onRow func(Row)) *sampler {
+	return &sampler{interval: interval, onRow: onRow}
 }
 
 // arm installs the snapshot source and takes the cycle-zero baseline.
@@ -85,7 +90,7 @@ func (s *sampler) finish(final uint64) {
 func (s *sampler) emit(boundary uint64) {
 	cur := s.snapshot()
 	dt := boundary - s.lastCycle
-	r := row{
+	r := Row{
 		Cycle:       boundary,
 		Events:      cur.EventsExecuted - s.last.EventsExecuted,
 		Reads:       cur.ReadRequests - s.last.ReadRequests,
@@ -117,6 +122,9 @@ func (s *sampler) emit(boundary uint64) {
 	s.rows = append(s.rows, r)
 	s.last = cur
 	s.lastCycle = boundary
+	if s.onRow != nil {
+		s.onRow(r)
+	}
 }
 
 func occupancy(busy uint64, resources int, dt uint64) float64 {

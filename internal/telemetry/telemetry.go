@@ -56,7 +56,7 @@ type Config struct {
 	TraceHops bool
 
 	// Metrics receives the interval time-series as CSV; nil disables
-	// sampling (unless Chart is set).
+	// sampling (unless Chart or OnRow is set).
 	Metrics io.Writer
 	// IntervalCycles is the sampling period (default
 	// DefaultIntervalCycles).
@@ -64,11 +64,18 @@ type Config struct {
 	// Chart receives an SVG line chart of the sampled occupancies and
 	// rates; nil disables it.
 	Chart io.Writer
+	// OnRow, when non-nil, receives every interval row the moment it is
+	// emitted, in cycle order, called on the simulation goroutine. It is
+	// the streaming analogue of Metrics: a job server taps it to serve
+	// live NDJSON metrics from a running simulation. The callback must
+	// not block for long — the simulation waits on it — and must not
+	// call back into the collector.
+	OnRow func(Row)
 }
 
 // Enabled reports whether any output is requested.
 func (c *Config) Enabled() bool {
-	return c != nil && (c.Trace != nil || c.Metrics != nil || c.Chart != nil)
+	return c != nil && (c.Trace != nil || c.Metrics != nil || c.Chart != nil || c.OnRow != nil)
 }
 
 // Collector is one run's telemetry sink. All probe methods are safe on a
@@ -100,8 +107,8 @@ func New(cfg Config) *Collector {
 	if cfg.Trace != nil {
 		c.tracer = newTracer(cfg.TraceHops)
 	}
-	if cfg.Metrics != nil || cfg.Chart != nil {
-		c.sampler = newSampler(cfg.IntervalCycles)
+	if cfg.Metrics != nil || cfg.Chart != nil || cfg.OnRow != nil {
+		c.sampler = newSampler(cfg.IntervalCycles, cfg.OnRow)
 	}
 	return c
 }

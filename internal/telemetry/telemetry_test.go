@@ -60,7 +60,7 @@ func TestSamplerDifferencesSnapshots(t *testing.T) {
 		calls++
 		return s
 	}
-	s := newSampler(1000)
+	s := newSampler(1000, nil)
 	s.arm(snap) // baseline: calls=0 snapshot
 	s.observe(999)
 	if len(s.rows) != 0 {
@@ -98,7 +98,7 @@ func TestSamplerDifferencesSnapshots(t *testing.T) {
 }
 
 func TestSamplerUniformBoundaries(t *testing.T) {
-	s := newSampler(100)
+	s := newSampler(100, nil)
 	s.arm(func() Sample { return Sample{} })
 	s.observe(350) // long event gap: must emit 100, 200, 300
 	if len(s.rows) != 3 {
