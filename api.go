@@ -11,8 +11,15 @@
 //
 // Quick start:
 //
-//	res, err := flexsnoop.Run(flexsnoop.SupersetAgg, "barnes", flexsnoop.Options{})
+//	res, err := flexsnoop.Simulate(ctx, flexsnoop.SupersetAgg,
+//		flexsnoop.FromWorkload("barnes"), flexsnoop.Options{})
 //	fmt.Println(res.Cycles, res.Stats.SnoopsPerReadRequest(), res.EnergyNJ)
+//
+// Simulate is the single entry point: the Source selects what to simulate
+// (a named workload via FromWorkload, a custom profile via FromProfile, or
+// a recorded trace via FromTraceFile) and the context cancels the run
+// between simulated events. The older Run/RunProfile/RunTraceFile names
+// (and their *Context variants) remain as thin deprecated wrappers.
 //
 // The experiment drivers in this package regenerate every table and figure
 // of the paper's evaluation; see RunMatrix, RunSensitivity, Table1 and
@@ -237,37 +244,125 @@ type MachineConfig = config.MachineConfig
 // DefaultMachine returns the Table 4 machine configuration.
 func DefaultMachine() MachineConfig { return config.DefaultMachine() }
 
-// Run simulates one (algorithm, workload) pair.
-func Run(alg Algorithm, workloadName string, opts Options) (Result, error) {
-	return RunContext(context.Background(), alg, workloadName, opts)
+// Source selects what a simulation runs on: a named workload, a custom
+// synthetic profile, or a recorded trace file. Build one with
+// FromWorkload, FromProfile or FromTraceFile; the zero Source is invalid
+// and Simulate rejects it with ErrBadConfig.
+//
+// Source is a closed sum type: the three constructors are the only ways
+// to obtain a useful value, which keeps Simulate's dispatch exhaustive.
+type Source struct {
+	kind     sourceKind
+	workload string
+	profile  Profile
+	path     string
 }
 
-// RunContext is Run with cancellation: the simulation stops between
-// events once ctx is cancelled, returning an error that wraps ctx's
-// error (errors.Is(err, context.Canceled) matches). A partial, cancelled
-// run never corrupts shared state — every run builds its own machine — and
-// passing a nil or Background context costs nothing on the hot path.
-func RunContext(ctx context.Context, alg Algorithm, workloadName string, opts Options) (Result, error) {
-	prof, err := workload.ByName(workloadName)
-	if err != nil {
-		return Result{}, err
+type sourceKind int
+
+const (
+	sourceNone sourceKind = iota
+	sourceWorkload
+	sourceProfile
+	sourceTraceFile
+)
+
+// FromWorkload selects one of the named evaluation workloads (see
+// Workloads). Resolution happens inside Simulate, so an unknown name
+// fails there with ErrUnknownWorkload.
+func FromWorkload(name string) Source {
+	return Source{kind: sourceWorkload, workload: name}
+}
+
+// FromProfile selects a custom synthetic workload profile.
+func FromProfile(p Profile) Source {
+	return Source{kind: sourceProfile, profile: p}
+}
+
+// FromTraceFile selects a recorded binary trace file (see WriteTraceFile;
+// a ".gz" suffix enables gzip). The per-CMP core count is inferred from
+// the trace's stream count; malformed inputs fail with ErrBadTrace.
+func FromTraceFile(path string) Source {
+	return Source{kind: sourceTraceFile, path: path}
+}
+
+// String names the source for logs and error messages.
+func (s Source) String() string {
+	switch s.kind {
+	case sourceWorkload:
+		return "workload:" + s.workload
+	case sourceProfile:
+		return "profile:" + s.profile.Name
+	case sourceTraceFile:
+		return "trace:" + s.path
 	}
-	return RunProfileContext(ctx, alg, prof, opts)
+	return "invalid"
 }
 
-// RunProfile simulates one algorithm on a custom workload profile.
-func RunProfile(alg Algorithm, prof Profile, opts Options) (Result, error) {
-	return RunProfileContext(context.Background(), alg, prof, opts)
+// Simulate runs one simulation: algorithm alg on the workload, profile or
+// trace the Source selects, under opts. It is the package's single
+// context-first entry point; every other Run* name delegates here.
+//
+// The simulation stops between events once ctx is cancelled, returning an
+// error that wraps ctx's error (errors.Is(err, context.Canceled)
+// matches). A partial, cancelled run never corrupts shared state — every
+// run builds its own machine — and passing a nil or Background context
+// costs nothing on the hot path.
+func Simulate(ctx context.Context, alg Algorithm, src Source, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch src.kind {
+	case sourceWorkload:
+		prof, err := workload.ByName(src.workload)
+		if err != nil {
+			return Result{}, err
+		}
+		return simulateProfile(ctx, alg, prof, opts)
+	case sourceProfile:
+		return simulateProfile(ctx, alg, src.profile, opts)
+	case sourceTraceFile:
+		return simulateTraceFile(ctx, alg, src.path, opts)
+	}
+	return Result{}, fmt.Errorf("%w: empty simulation source (use FromWorkload, FromProfile or FromTraceFile)", ErrBadConfig)
 }
 
-// RunProfileContext is RunProfile with cancellation (see RunContext).
-func RunProfileContext(ctx context.Context, alg Algorithm, prof Profile, opts Options) (Result, error) {
+// simulateProfile is the profile-backed execution path behind Simulate.
+func simulateProfile(ctx context.Context, alg Algorithm, prof Profile, opts Options) (Result, error) {
 	exp, err := buildExperiment(alg, prof, opts)
 	if err != nil {
 		return Result{}, err
 	}
 	exp.Context = ctx
 	return machine.Run(exp)
+}
+
+// Run simulates one (algorithm, workload) pair.
+//
+// Deprecated: use Simulate with FromWorkload.
+func Run(alg Algorithm, workloadName string, opts Options) (Result, error) {
+	return Simulate(context.Background(), alg, FromWorkload(workloadName), opts)
+}
+
+// RunContext is Run with cancellation.
+//
+// Deprecated: use Simulate with FromWorkload.
+func RunContext(ctx context.Context, alg Algorithm, workloadName string, opts Options) (Result, error) {
+	return Simulate(ctx, alg, FromWorkload(workloadName), opts)
+}
+
+// RunProfile simulates one algorithm on a custom workload profile.
+//
+// Deprecated: use Simulate with FromProfile.
+func RunProfile(alg Algorithm, prof Profile, opts Options) (Result, error) {
+	return Simulate(context.Background(), alg, FromProfile(prof), opts)
+}
+
+// RunProfileContext is RunProfile with cancellation.
+//
+// Deprecated: use Simulate with FromProfile.
+func RunProfileContext(ctx context.Context, alg Algorithm, prof Profile, opts Options) (Result, error) {
+	return Simulate(ctx, alg, FromProfile(prof), opts)
 }
 
 // buildExperiment is the single validated construction path shared by
@@ -377,16 +472,26 @@ func WriteTraceFile(path, workloadName string, opsPerCore uint64, seed int64) er
 	return f.Close()
 }
 
-// RunTraceFile replays a trace file under an algorithm. The per-CMP core
-// count is inferred from the trace's stream count. Malformed inputs —
-// corrupt data, a bad gzip envelope, or a stream count that does not map
-// onto the machine's CMPs — fail with an error wrapping ErrBadTrace.
+// RunTraceFile replays a trace file under an algorithm.
+//
+// Deprecated: use Simulate with FromTraceFile.
 func RunTraceFile(alg Algorithm, path string, opts Options) (Result, error) {
-	return RunTraceFileContext(context.Background(), alg, path, opts)
+	return Simulate(context.Background(), alg, FromTraceFile(path), opts)
 }
 
-// RunTraceFileContext is RunTraceFile with cancellation (see RunContext).
+// RunTraceFileContext is RunTraceFile with cancellation.
+//
+// Deprecated: use Simulate with FromTraceFile.
 func RunTraceFileContext(ctx context.Context, alg Algorithm, path string, opts Options) (Result, error) {
+	return Simulate(ctx, alg, FromTraceFile(path), opts)
+}
+
+// simulateTraceFile is the trace-backed execution path behind Simulate:
+// the per-CMP core count is inferred from the trace's stream count.
+// Malformed inputs — corrupt data, a bad gzip envelope, or a stream count
+// that does not map onto the machine's CMPs — fail with an error wrapping
+// ErrBadTrace.
+func simulateTraceFile(ctx context.Context, alg Algorithm, path string, opts Options) (Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Result{}, err

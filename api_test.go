@@ -1,8 +1,11 @@
 package flexsnoop_test
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"flexsnoop"
@@ -20,6 +23,43 @@ func TestRunBasic(t *testing.T) {
 	}
 	if res.Workload != "fft" || res.Algorithm != flexsnoop.Lazy {
 		t.Errorf("result labels wrong: %s/%v", res.Workload, res.Algorithm)
+	}
+}
+
+// TestSimulateSources: the unified entry point accepts every Source
+// kind, matches the deprecated wrappers bit-for-bit, and rejects the
+// zero Source with ErrBadConfig instead of guessing.
+func TestSimulateSources(t *testing.T) {
+	opts := flexsnoop.Options{OpsPerCore: 400}
+	want, err := flexsnoop.Run(flexsnoop.Lazy, "fft", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flexsnoop.Simulate(context.Background(), flexsnoop.Lazy, flexsnoop.FromWorkload("fft"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Simulate(FromWorkload) differs from the deprecated Run wrapper")
+	}
+
+	prof, err := flexsnoop.WorkloadByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = flexsnoop.Simulate(nil, flexsnoop.Lazy, flexsnoop.FromProfile(prof), opts) //lint:ignore SA1012 nil ctx is documented to mean Background
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Simulate(FromProfile) differs from Simulate(FromWorkload)")
+	}
+
+	if _, err := flexsnoop.Simulate(context.Background(), flexsnoop.Lazy, flexsnoop.Source{}, opts); !errors.Is(err, flexsnoop.ErrBadConfig) {
+		t.Errorf("zero Source: got %v, want ErrBadConfig", err)
+	}
+	if s := flexsnoop.FromWorkload("fft").String(); s != "workload:fft" {
+		t.Errorf("Source.String() = %q", s)
 	}
 }
 

@@ -10,6 +10,14 @@
 set -eu
 cd "$(dirname "$0")"
 
+echo "== gofmt =="
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -45,10 +53,16 @@ echo "== service smoke =="
 # cleanly within the deadline. The test execs the built binary.
 go test -run TestRingsimdSmoke -count=1 ./cmd/ringsimd
 
+echo "== federation smoke =="
+# Coordinator + one static worker + one worker joining via -register;
+# the static worker is SIGKILLed mid-sweep. The sweep must complete via
+# failover and its output must be byte-identical to the serial sweep.
+go test -run TestRingsimdFederation -count=1 ./cmd/ringsimd
+
 echo "== bench (short) =="
 # Record this PR's benchmark numbers; cmd/bench prints comparisons
 # against every prior BENCH_*.json and fails on a >25% throughput
 # regression versus the newest one.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_5.json
+go run ./cmd/bench -short -maxregress 25 -out BENCH_6.json
 
 echo "CI OK"

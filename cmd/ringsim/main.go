@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -137,11 +138,11 @@ func run() error {
 	opts.Telemetry = tel
 
 	var res flexsnoop.Result
+	src := flexsnoop.FromWorkload(*wlFlag)
 	if *replayFlag != "" {
-		res, err = flexsnoop.RunTraceFile(alg, *replayFlag, opts)
-	} else {
-		res, err = flexsnoop.Run(alg, *wlFlag, opts)
+		src = flexsnoop.FromTraceFile(*replayFlag)
 	}
+	res, err = flexsnoop.Simulate(context.Background(), alg, src, opts)
 	if cerr := closeTel(); cerr != nil && err == nil {
 		err = cerr
 	}

@@ -7,6 +7,17 @@
 //
 //	ringsimd [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
 //	         [-drain 30s] [-quiet]
+//	         [-coordinator] [-backends URL,URL,...]
+//	         [-register http://COORDINATOR] [-heartbeat 5s]
+//
+// Federation (DESIGN.md §9): with -backends (static fleet) or
+// -coordinator (workers join via -register), the daemon becomes a
+// coordinator — queued jobs are dispatched least-loaded-first across its
+// local worker pool and every healthy backend, failed backends are
+// probed, failed over and retried, and the result cache fronts the whole
+// fleet. `-workers -1` disables local execution (pure dispatcher). On a
+// worker, `-register URL` keeps it registered with a coordinator
+// (heartbeat every -heartbeat, exponential backoff while unreachable).
 //
 // On startup the daemon prints exactly one line to stdout:
 //
@@ -29,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +54,11 @@ var (
 	cacheFlag   = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
 	drainFlag   = flag.Duration("drain", 30*time.Second, "graceful-drain deadline for running jobs on shutdown")
 	quietFlag   = flag.Bool("quiet", false, "suppress per-job log lines")
+
+	coordFlag     = flag.Bool("coordinator", false, "accept worker registrations on POST /v1/backends and dispatch across them")
+	backendsFlag  = flag.String("backends", "", "comma-separated worker base URLs to dispatch to (implies coordinator mode)")
+	registerFlag  = flag.String("register", "", "coordinator base URL to register this worker with (and heartbeat)")
+	heartbeatFlag = flag.Duration("heartbeat", 5*time.Second, "registration heartbeat interval when -register is set")
 )
 
 func main() {
@@ -58,6 +75,12 @@ func run() error {
 		Workers:       *workersFlag,
 		QueueCapacity: *queueFlag,
 		CacheEntries:  *cacheFlag,
+		Coordinator:   *coordFlag,
+	}
+	for _, u := range strings.Split(*backendsFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			cfg.Backends = append(cfg.Backends, u)
+		}
 	}
 	if !*quietFlag {
 		cfg.Logf = logger.Printf
@@ -71,14 +94,31 @@ func run() error {
 	// The discovery line scripts parse; everything else goes to stderr.
 	fmt.Printf("ringsimd listening on http://%s\n", ln.Addr())
 	workers := cfg.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	logger.Printf("serving on %s (%d workers)", ln.Addr(), workers)
+	if workers < 0 {
+		workers = 0
+	}
+	role := ""
+	if *coordFlag || len(cfg.Backends) > 0 {
+		role = ", coordinator"
+	}
+	logger.Printf("serving on %s (%d local workers%s)", ln.Addr(), workers, role)
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	regCtx, regCancel := context.WithCancel(context.Background())
+	defer regCancel()
+	if *registerFlag != "" {
+		reg := service.BackendRegistration{
+			URL:     "http://" + ln.Addr().String(),
+			Workers: workers,
+		}
+		go service.RegisterLoop(regCtx, *registerFlag, reg, *heartbeatFlag, logger.Printf)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -86,8 +126,10 @@ func run() error {
 	select {
 	case sig := <-sigCh:
 		logger.Printf("%s: draining (deadline %s)", sig, *drainFlag)
-		// Drain first, with the API still up so clients can poll the jobs
-		// they already own; then stop the listener.
+		// Stop heartbeating first so the coordinator stops dispatching
+		// here, then drain with the API still up so clients can poll the
+		// jobs they already own; then stop the listener.
+		regCancel()
 		svc.Drain(*drainFlag)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

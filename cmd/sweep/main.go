@@ -8,13 +8,17 @@
 //
 //	sweep [-ops 2000] [-seed 1] [-apps a,b,c] [-v]
 //	      [-faults "kind=drop,rate=0.05,seed=1"]
-//	      [-remote http://HOST:PORT] [-parallel N]
+//	      [-remote http://HOST:PORT[,http://HOST:PORT...]] [-parallel N]
 //
 // With -remote, every cell of the sweep is submitted to a running
 // ringsimd server (see cmd/ringsimd) instead of simulating in-process.
 // The simulator is deterministic, so remote results are bit-identical
 // and the reported figures are unchanged; the server's queue provides
-// the backpressure, and its cache collapses repeated sweeps.
+// the backpressure, and its cache collapses repeated sweeps. -remote
+// accepts a comma-separated list of servers (cells are round-robined
+// across them) — or, better, a single ringsimd coordinator URL, which
+// fans out across its registered fleet with health checks and failover
+// (see ringsimd -coordinator).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"flexsnoop"
 	"flexsnoop/internal/cli"
@@ -37,7 +42,7 @@ var (
 	appsFlag   = flag.String("apps", "", "comma-separated SPLASH-2 subset")
 	verbose    = flag.Bool("v", false, "per-run progress")
 	faultsFlag = flag.String("faults", "", "fault plan applied to every run (see ringsim -faults)")
-	remoteFlag = flag.String("remote", "", "submit every run to this ringsimd base URL instead of simulating in-process")
+	remoteFlag = flag.String("remote", "", "comma-separated ringsimd base URLs (or one coordinator URL) to submit runs to instead of simulating in-process")
 	parFlag    = flag.Int("parallel", 0, "concurrent cells (default GOMAXPROCS; with -remote, in-flight submissions)")
 )
 
@@ -60,12 +65,26 @@ func main() {
 	}
 	opts.Parallelism = *parFlag
 	if *remoteFlag != "" {
-		c := &service.Client{BaseURL: strings.TrimRight(*remoteFlag, "/")}
+		var clients []*service.Client
+		for _, u := range strings.Split(*remoteFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				clients = append(clients, &service.Client{BaseURL: strings.TrimRight(u, "/")})
+			}
+		}
+		if len(clients) == 0 {
+			fmt.Fprintln(os.Stderr, "sweep: -remote has no usable URLs")
+			os.Exit(2)
+		}
+		// Round-robin cells across the listed servers. Which server runs a
+		// cell does not affect its result (the simulator is deterministic),
+		// so the figures stay bit-identical regardless of the fan-out.
+		var next atomic.Uint64
 		opts.Runner = func(ctx context.Context, alg flexsnoop.Algorithm, workload string, o flexsnoop.Options) (flexsnoop.Result, error) {
 			spec, err := service.SpecFor(alg, workload, o)
 			if err != nil {
 				return flexsnoop.Result{}, err
 			}
+			c := clients[int(next.Add(1)-1)%len(clients)]
 			return c.Run(ctx, spec)
 		}
 	}

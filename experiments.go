@@ -74,7 +74,7 @@ func (o FigureOptions) runCell(ctx context.Context, alg Algorithm, prof Profile,
 	if o.Runner != nil {
 		return o.Runner(ctx, alg, prof.Name, opts)
 	}
-	return RunProfileContext(ctx, alg, prof, opts)
+	return Simulate(ctx, alg, FromProfile(prof), opts)
 }
 
 // ctx returns the driver's context, defaulting to Background.
@@ -599,7 +599,7 @@ func RunFaultMatrix(workloadName string, scenarios []FaultScenario, opts FigureO
 				label:    fmt.Sprintf("%s/%v", sc.Name, alg),
 				labelKey: "fault-inject",
 				run: func() error {
-					res, err := RunProfileContext(o.ctx(), alg, prof, Options{
+					res, err := Simulate(o.ctx(), alg, FromProfile(prof), Options{
 						OpsPerCore: o.OpsPerCore, Seed: o.Seed,
 						Faults: sc.Plan, CheckEvery: checkEvery,
 						ShardRings: o.ShardRings,
@@ -653,7 +653,7 @@ func ScalingStudy(alg Algorithm, workloadName string, opts FigureOptions) ([]Sca
 	var base float64
 	for _, sz := range sizes {
 		sz := sz
-		res, err := RunProfileContext(o.ctx(), alg, prof, Options{
+		res, err := Simulate(o.ctx(), alg, FromProfile(prof), Options{
 			OpsPerCore: o.OpsPerCore, Seed: o.Seed,
 			Tweak: func(m *MachineConfig) {
 				m.NumCMPs = sz.n

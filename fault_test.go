@@ -204,6 +204,35 @@ func TestRobustnessLayersCycleIdentical(t *testing.T) {
 	}
 }
 
+// TestParseFaultPlanErrors pins the parser's error surface at the public
+// API: every malformed spec wraps ErrFaultPlan, and the message names
+// what is wrong (callers echo it verbatim to CLI users).
+func TestParseFaultPlanErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring the error must carry
+	}{
+		{"kind=meteor", "meteor"},                  // unknown kind
+		{"kind=drop,rate=1.5", "rate"},             // rate above 1
+		{"kind=drop,rate=-0.1", "rate"},            // rate below 0
+		{"kind=drop,rate=0.5;", "empty"},           // trailing separator
+		{";kind=drop", "empty"},                    // leading separator
+		{"rate=0.5", "kind"},                       // missing kind
+		{"kind=drop,rate", "key=value"},            // field without '='
+		{"kind=delay,rate=0.1,delay=abc", "delay"}, // unparsable value
+	}
+	for _, tc := range cases {
+		_, err := flexsnoop.ParseFaultPlan(tc.spec)
+		if !errors.Is(err, flexsnoop.ErrFaultPlan) {
+			t.Errorf("ParseFaultPlan(%q) = %v, want ErrFaultPlan", tc.spec, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseFaultPlan(%q) error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
 // TestFaultOptionValidation covers the error surface: malformed plans
 // wrap ErrFaultPlan, and the configuration validator rejects the
 // latency/backoff degeneracies the retry machinery depends on.

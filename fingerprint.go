@@ -137,14 +137,11 @@ func (j Job) Fingerprint() string {
 	return fingerprintVersion + ":" + hex.EncodeToString(h.Sum(nil))
 }
 
-// RunJob executes the job (see RunContext for the semantics).
+// RunJob executes the job (see Simulate for the semantics).
 func RunJob(j Job) (Result, error) { return RunJobContext(nil, j) }
 
 // RunJobContext executes the job with cancellation. A nil ctx behaves
 // like context.Background.
 func RunJobContext(ctx context.Context, j Job) (Result, error) {
-	if ctx == nil {
-		return Run(j.Algorithm, j.Workload, j.Options)
-	}
-	return RunContext(ctx, j.Algorithm, j.Workload, j.Options)
+	return Simulate(ctx, j.Algorithm, FromWorkload(j.Workload), j.Options)
 }

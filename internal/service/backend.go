@@ -1,0 +1,330 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"flexsnoop"
+)
+
+// This file is the federation layer: the coordinator's backend registry,
+// the health checker, and the remote execution path with failover.
+//
+// A Server becomes a coordinator when its Config names static backends or
+// sets Coordinator (workers then register themselves over HTTP). The
+// execution substrate generalises from "the local worker pool" to a set
+// of backends — the local pool plus any number of remote ringsimd
+// daemons — and the dispatcher assigns each queued execution to the
+// least-loaded healthy backend. Everything above the dispatch seam
+// (queueing, dedup, the content-addressed cache, cancellation, drain) is
+// unchanged: in particular the coordinator's result cache now fronts the
+// whole fleet, so a sweep re-run against the coordinator is answered
+// without touching any worker.
+
+// backend is one execution substrate: the local worker pool (client ==
+// nil) or a remote ringsimd daemon driven through a Client. All mutable
+// fields are guarded by the owning Server's mutex; the prober and the
+// run goroutines copy what they need out under the lock and do network
+// I/O unlocked.
+type backend struct {
+	name   string  // "local" or the remote base URL
+	client *Client // nil for the local pool
+
+	slots    int  // max concurrent dispatches (local: Workers; remote: its worker count)
+	inflight int  // executions currently dispatched here
+	healthy  bool // eligible for dispatch (remote: last /readyz probe passed)
+	dynamic  bool // registered via POST /v1/backends rather than Config.Backends
+
+	lastErr  string    // most recent dispatch or probe failure
+	lastSeen time.Time // last successful probe or registration heartbeat
+
+	// Cumulative counters (reported per backend by /statsz).
+	dispatched, completed, failed, failovers uint64
+
+	// Last probe snapshot of the remote's own /statsz (zero for local).
+	remoteQueueDepth int
+	remoteHitRate    float64
+}
+
+// BackendRegistration is the wire body of POST /v1/backends: a worker
+// announcing itself to a coordinator.
+type BackendRegistration struct {
+	// URL is the worker's base URL as the coordinator should dial it.
+	URL string `json:"url"`
+	// Workers is the worker's simulation pool size; the coordinator
+	// dispatches at most this many concurrent jobs to it (0 = probe it).
+	Workers int `json:"workers,omitempty"`
+}
+
+// BackendStats is the /statsz view of one backend.
+type BackendStats struct {
+	Name       string `json:"name"`
+	Local      bool   `json:"local,omitempty"`
+	Healthy    bool   `json:"healthy"`
+	Registered bool   `json:"registered,omitempty"` // via POST /v1/backends
+	Slots      int    `json:"slots"`
+	Inflight   int    `json:"inflight"`
+	Dispatched uint64 `json:"dispatched"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Failovers  uint64 `json:"failovers"`
+	// QueueDepth and CacheHitRate mirror the remote backend's own /statsz
+	// as of the last health probe (zero for the local pool: its queue is
+	// this server's queue).
+	QueueDepth   int     `json:"queue_depth,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	LastError    string  `json:"last_error,omitempty"`
+}
+
+func (b *backend) statsLocked() BackendStats {
+	return BackendStats{
+		Name:         b.name,
+		Local:        b.client == nil,
+		Healthy:      b.healthy,
+		Registered:   b.dynamic,
+		Slots:        b.slots,
+		Inflight:     b.inflight,
+		Dispatched:   b.dispatched,
+		Completed:    b.completed,
+		Failed:       b.failed,
+		Failovers:    b.failovers,
+		QueueDepth:   b.remoteQueueDepth,
+		CacheHitRate: b.remoteHitRate,
+		LastError:    b.lastErr,
+	}
+}
+
+// federated reports whether this server is a coordinator.
+func (c Config) federated() bool { return c.Coordinator || len(c.Backends) > 0 }
+
+// RegisterBackend adds a remote backend (or refreshes an existing one —
+// registration doubles as a heartbeat). Only coordinators accept
+// registrations.
+func (s *Server) RegisterBackend(reg BackendRegistration) error {
+	if !s.cfg.federated() {
+		return fmt.Errorf("%w: not a coordinator", ErrNotCoordinator)
+	}
+	url := strings.TrimRight(strings.TrimSpace(reg.URL), "/")
+	if url == "" || !strings.Contains(url, "://") {
+		return fmt.Errorf("%w: backend URL %q", flexsnoop.ErrBadConfig, reg.URL)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.backends {
+		if b.name == url {
+			if reg.Workers > 0 {
+				b.slots = reg.Workers
+			}
+			b.lastSeen = time.Now()
+			if !b.healthy {
+				b.healthy = true
+				b.lastErr = ""
+				s.cond.Broadcast() // a waiting dispatcher may now have a slot
+			}
+			return nil
+		}
+	}
+	b := s.newRemoteBackendLocked(url, reg.Workers)
+	b.dynamic = true
+	s.logf("backend %s registered (%d slots)", b.name, b.slots)
+	s.cond.Broadcast()
+	return nil
+}
+
+// newRemoteBackendLocked appends a remote backend in the optimistically
+// healthy state: the first dispatch or probe corrects it if it is down,
+// and a failed dispatch fails over rather than failing the job.
+func (s *Server) newRemoteBackendLocked(url string, workers int) *backend {
+	if workers <= 0 {
+		workers = defaultRemoteSlots
+	}
+	b := &backend{
+		name:    url,
+		client:  &Client{BaseURL: url, PollInterval: s.cfg.RemotePoll},
+		slots:   workers,
+		healthy: true,
+	}
+	s.backends = append(s.backends, b)
+	return b
+}
+
+// defaultRemoteSlots bounds dispatch to a remote backend whose pool size
+// is not yet known (static -backends entry before its first /statsz
+// probe). The first probe replaces it with the worker's real pool size.
+const defaultRemoteSlots = 4
+
+// pickLocked returns the healthy backend with free capacity that is
+// least loaded (lowest inflight/slots fraction; ties go to the earlier
+// backend, so the local pool — always index 0 when present — wins a
+// dead heat). Nil when every backend is busy, unhealthy, or absent.
+func (s *Server) pickLocked() *backend {
+	var best *backend
+	var bestLoad float64
+	for _, b := range s.backends {
+		if !b.healthy || b.slots <= 0 || b.inflight >= b.slots {
+			continue
+		}
+		load := float64(b.inflight) / float64(b.slots)
+		if best == nil || load < bestLoad {
+			best, bestLoad = b, load
+		}
+	}
+	return best
+}
+
+// anyHealthyLocked reports whether any backend (local included) is
+// currently eligible for dispatch, busy or not.
+func (s *Server) anyHealthyLocked() bool {
+	for _, b := range s.backends {
+		if b.healthy && b.slots > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// transientError marks a dispatch failure as the backend's fault rather
+// than the job's: the execution is eligible for failover to another
+// backend.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// transient reports whether a dispatch failure should fail over. A
+// deterministic simulator makes the classification crisp: a spec the
+// worker rejected (HTTP 400) or a simulation that failed would do exactly
+// the same anywhere, so only backend-side conditions — transport errors,
+// 5xx, a draining or restarted worker — are worth a retry elsewhere.
+func transient(err error) bool {
+	var te *transientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		return re.StatusCode != http.StatusBadRequest
+	}
+	// Not an API response at all: the backend is unreachable.
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// runRemote executes ex on a remote backend: submit (with backpressure
+// backoff), wait for a terminal state, translate it back into the local
+// execution's terms. ex.ctx cancellation is propagated: the poll loop
+// stops immediately and the remote job is cancelled best-effort so the
+// worker's slot frees promptly.
+func (s *Server) runRemote(b *backend, ex *execution) (flexsnoop.Result, error) {
+	spec := ex.spec
+	spec.Version = SpecVersion
+	st, err := b.client.submitBackoff(ex.ctx, spec)
+	if err != nil {
+		return flexsnoop.Result{}, err
+	}
+	switch st.State {
+	case StateQueued, StateRunning:
+		st, err = b.client.Wait(ex.ctx, st.ID)
+		if err != nil {
+			if ex.ctx.Err() != nil {
+				// Our side cancelled (job cancel or drain): release the
+				// worker's slot best-effort, then report the cancellation.
+				cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, _ = b.client.Cancel(cancelCtx, st.ID)
+				cancel()
+				return flexsnoop.Result{}, context.Canceled
+			}
+			return flexsnoop.Result{}, err
+		}
+	}
+	switch st.State {
+	case StateDone:
+		if st.Result == nil {
+			return flexsnoop.Result{}, &transientError{fmt.Errorf("backend %s: done without a result", b.name)}
+		}
+		return *st.Result, nil
+	case StateCanceled:
+		if ex.ctx.Err() != nil {
+			return flexsnoop.Result{}, context.Canceled
+		}
+		// The worker cancelled it (drain): not this job's fault.
+		return flexsnoop.Result{}, &transientError{fmt.Errorf("backend %s canceled the job (draining?)", b.name)}
+	default:
+		// A deterministic simulation failure: retrying elsewhere would
+		// reproduce it, so surface the worker's error as final.
+		return flexsnoop.Result{}, fmt.Errorf("backend %s: %s", b.name, st.Error)
+	}
+}
+
+// prober is the coordinator's health checker: every HealthInterval it
+// probes each remote backend's /readyz (health) and /statsz (load and
+// pool size), marking backends unhealthy — and therefore ineligible for
+// dispatch — the moment they stop answering, and waking the dispatcher
+// when one recovers.
+func (s *Server) prober() {
+	defer s.wg.Done()
+	interval := s.cfg.HealthInterval
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.probeBackends(interval)
+		}
+	}
+}
+
+// probeBackends runs one probe round over a snapshot of the remote
+// backends.
+func (s *Server) probeBackends(timeout time.Duration) {
+	s.mu.Lock()
+	targets := make([]*backend, 0, len(s.backends))
+	for _, b := range s.backends {
+		if b.client != nil {
+			targets = append(targets, b)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, b := range targets {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := b.client.Ready(ctx)
+		var remote Stats
+		if err == nil {
+			remote, err = b.client.Stats(ctx)
+		}
+		cancel()
+
+		s.mu.Lock()
+		if err != nil {
+			if b.healthy {
+				s.logf("backend %s unhealthy: %v", b.name, err)
+			}
+			b.healthy = false
+			b.lastErr = err.Error()
+		} else {
+			if !b.healthy {
+				s.logf("backend %s healthy again (%d workers)", b.name, remote.Workers)
+				s.cond.Broadcast() // dispatcher may have been starved of slots
+			}
+			b.healthy = true
+			b.lastErr = ""
+			b.lastSeen = time.Now()
+			if remote.Workers > 0 {
+				b.slots = remote.Workers
+			}
+			b.remoteQueueDepth = remote.QueueDepth
+			b.remoteHitRate = remote.CacheHitRate
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ErrNotCoordinator: a backend registration sent to a plain (non
+// federated) server.
+var ErrNotCoordinator = errors.New("service: server is not a coordinator")

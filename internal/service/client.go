@@ -104,11 +104,28 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 // backpressure (429 + Retry-After), then polls until the job reaches a
 // terminal state.
 func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	st, err := c.submitBackoff(ctx, spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	switch st.State {
+	case StateDone, StateFailed, StateCanceled:
+		return st, nil // cache hit (or instant terminal): nothing to poll
+	}
+	return c.Wait(ctx, st.ID)
+}
+
+// submitBackoff submits until the job is admitted, retrying queue-full
+// backpressure (429) with exponential backoff: the wait starts at the
+// poll interval and doubles up to one second, shortened whenever the
+// server's Retry-After promises an earlier slot. Every other error —
+// including ctx expiring mid-backoff — returns immediately.
+func (c *Client) submitBackoff(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	backoff := c.poll()
 	for {
 		st, err := c.Submit(ctx, spec)
 		if err == nil {
-			return c.Wait(ctx, st.ID)
+			return st, nil
 		}
 		re, ok := err.(*remoteError)
 		if !ok || re.StatusCode != http.StatusTooManyRequests {
@@ -185,4 +202,65 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
 	err := c.do(ctx, http.MethodGet, "/statsz", nil, &st)
 	return st, err
+}
+
+// Ready probes the server's /readyz endpoint: nil means the server is
+// accepting jobs; a draining or unreachable server errors. The
+// coordinator's health checker calls this against every remote backend.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Register announces a worker to a coordinator (POST /v1/backends): the
+// coordinator adds (or refreshes) the worker in its backend registry and
+// starts dispatching jobs to it. Registration doubles as a heartbeat —
+// re-registering an already-known URL just updates its capacity and marks
+// it healthy.
+func (c *Client) Register(ctx context.Context, reg BackendRegistration) error {
+	return c.do(ctx, http.MethodPost, "/v1/backends", reg, nil)
+}
+
+// RegisterLoop keeps a worker registered with a coordinator until ctx is
+// done: it registers immediately, then re-registers every interval as a
+// heartbeat. While the coordinator is unreachable it retries with
+// exponential backoff (starting at interval/4, doubling up to 8×interval),
+// so a coordinator restart picks the worker back up without operator
+// action. Interval defaults to 5s when zero; logf may be nil.
+func RegisterLoop(ctx context.Context, coordinatorURL string, reg BackendRegistration, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Client{BaseURL: coordinatorURL}
+	backoff := interval / 4
+	registered := false
+	for {
+		err := c.Register(ctx, reg)
+		var wait time.Duration
+		switch {
+		case err == nil:
+			if !registered {
+				logf("registered with coordinator %s as %s", coordinatorURL, reg.URL)
+			}
+			registered = true
+			backoff = interval / 4
+			wait = interval
+		case ctx.Err() != nil:
+			return
+		default:
+			logf("registration with %s failed (retry in %s): %v", coordinatorURL, backoff, err)
+			registered = false
+			wait = backoff
+			if backoff < 8*interval {
+				backoff *= 2
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
 }

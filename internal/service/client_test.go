@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// backpressureServer answers POST /v1/jobs with 429 for the first
+// `rejects` attempts, then admits the job as done (terminal, so the
+// client never needs to poll).
+func backpressureServer(rejects int32) (*httptest.Server, *atomic.Int32) {
+	var attempts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= rejects {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, ErrQueueFull)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, JobStatus{ID: "j-000001", State: StateFailed, Error: "stub"})
+	})
+	return httptest.NewServer(mux), &attempts
+}
+
+// TestClientBackoffSchedule: submitBackoff retries only 429s, with
+// exponential backoff starting at the poll interval — so three
+// rejections cost at least poll + 2*poll + 4*poll of waiting before the
+// fourth attempt is admitted.
+func TestClientBackoffSchedule(t *testing.T) {
+	ts, attempts := backpressureServer(3)
+	defer ts.Close()
+	const poll = 10 * time.Millisecond
+	c := &Client{BaseURL: ts.URL, PollInterval: poll}
+
+	start := time.Now()
+	st, err := c.SubmitWait(context.Background(), smallSpec(1))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("state = %q, want the stub terminal state", st.State)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Errorf("attempts = %d, want 4 (three 429s, then admitted)", got)
+	}
+	// Lower bound only: wall-clock upper bounds are flaky under load. The
+	// server's Retry-After (1s) must not stretch the wait either — it only
+	// ever shortens the backoff.
+	if min := 7 * poll; elapsed < min {
+		t.Errorf("elapsed = %s, want >= %s (backoff %s+%s+%s)", elapsed, min, poll, 2*poll, 4*poll)
+	}
+	if max := 900 * time.Millisecond; elapsed > max {
+		t.Errorf("elapsed = %s: Retry-After seems to have stretched the backoff", elapsed)
+	}
+}
+
+// TestClientBackoffCancel: a context cancelled mid-backoff aborts the
+// retry loop promptly instead of sleeping out the full wait.
+func TestClientBackoffCancel(t *testing.T) {
+	ts, attempts := backpressureServer(1 << 30) // never admits
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, PollInterval: 500 * time.Millisecond}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := c.SubmitWait(ctx, smallSpec(2))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitWait after cancel = %v, want context.Canceled", err)
+	}
+	if elapsed >= 450*time.Millisecond {
+		t.Errorf("cancellation took %s: the backoff sleep was not interrupted", elapsed)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry after cancellation)", got)
+	}
+}
+
+// TestClientBackoffOnlyRetries429: any other error — here a 400 from a
+// bad spec — returns immediately, with no retry.
+func TestClientBackoffOnlyRetries429(t *testing.T) {
+	var attempts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		writeError(w, http.StatusBadRequest, errors.New("bad spec"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, PollInterval: time.Millisecond}
+
+	_, err := c.SubmitWait(context.Background(), smallSpec(3))
+	var re *remoteError
+	if !errors.As(err, &re) || re.StatusCode != http.StatusBadRequest {
+		t.Fatalf("SubmitWait = %v, want the 400 remoteError", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (400 must not be retried)", got)
+	}
+}

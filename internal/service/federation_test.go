@@ -1,0 +1,344 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"flexsnoop"
+)
+
+// newWorker starts a worker server and returns it with its base URL.
+func newWorker(t *testing.T, workers int) (*Server, string) {
+	t.Helper()
+	s := New(Config{Workers: workers})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts.URL
+}
+
+// coordCfg is a coordinator config tuned for tests: no local execution,
+// fast polls and probes.
+func coordCfg(backends ...string) Config {
+	return Config{
+		Workers:        -1,
+		Backends:       backends,
+		RemotePoll:     2 * time.Millisecond,
+		HealthInterval: 50 * time.Millisecond,
+	}
+}
+
+// TestFederationMatchesInProcess is the tentpole acceptance test: a
+// 16-cell matrix dispatched by a coordinator across two worker backends
+// is bit-identical to running every cell in-process. Determinism makes
+// the federation an invisible implementation detail.
+func TestFederationMatchesInProcess(t *testing.T) {
+	configs := make([]JobSpec, 16)
+	baseline := make([]flexsnoop.Result, 16)
+	algs := []string{"Eager", "Lazy", "Subset", "SupersetCon", "SupersetAgg", "Exact"}
+	for i := range configs {
+		configs[i] = JobSpec{
+			Algorithm: algs[i%len(algs)],
+			Workload:  "fft",
+			Options:   SpecOptions{OpsPerCore: 200, Seed: int64(2000 + i/len(algs))},
+		}
+		fj, err := configs[i].Job()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		baseline[i], err = flexsnoop.RunJob(fj)
+		if err != nil {
+			t.Fatalf("baseline %d: %v", i, err)
+		}
+	}
+
+	_, w1 := newWorker(t, 2)
+	_, w2 := newWorker(t, 2)
+	coord := New(coordCfg(w1, w2))
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, PollInterval: 2 * time.Millisecond}
+
+	results := make([]flexsnoop.Result, len(configs))
+	errs := make([]error, len(configs))
+	done := make(chan int)
+	for i := range configs {
+		go func(i int) {
+			results[i], errs[i] = c.Run(context.Background(), configs[i])
+			done <- i
+		}(i)
+	}
+	for range configs {
+		<-done
+	}
+	for i := range configs {
+		if errs[i] != nil {
+			t.Fatalf("cell %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], baseline[i]) {
+			t.Errorf("cell %d: federated result differs from in-process baseline", i)
+		}
+	}
+
+	stats := coord.Stats()
+	if stats.BusyWorkers != 0 || stats.Workers != 0 {
+		t.Errorf("coordinator reports local workers %d busy %d, want 0/0", stats.Workers, stats.BusyWorkers)
+	}
+	if len(stats.Backends) != 2 {
+		t.Fatalf("coordinator reports %d backends, want 2", len(stats.Backends))
+	}
+	var dispatched uint64
+	for _, b := range stats.Backends {
+		if b.Local {
+			t.Errorf("backend %s claims to be local", b.Name)
+		}
+		if b.Dispatched == 0 {
+			t.Errorf("backend %s got no dispatches: the fan-out did not spread", b.Name)
+		}
+		dispatched += b.Dispatched
+	}
+	if dispatched != uint64(len(configs)) {
+		t.Errorf("total dispatched = %d, want %d", dispatched, len(configs))
+	}
+
+	// The coordinator's cache fronts the fleet: resubmitting any cell is
+	// answered locally, without another dispatch.
+	st, err := coord.Submit(configs[0])
+	if err != nil || !st.Cached {
+		t.Fatalf("resubmission not served from coordinator cache: %+v, %v", st, err)
+	}
+	if got := coord.Stats().Backends[0].Dispatched + coord.Stats().Backends[1].Dispatched; got != dispatched {
+		t.Errorf("cache hit still dispatched: %d -> %d", dispatched, got)
+	}
+}
+
+// TestFederationFailover: a job dispatched to a dead backend is not
+// failed — it is re-queued and retried on a healthy one, the dead
+// backend is marked unhealthy, and /statsz counts the failover.
+func TestFederationFailover(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+
+	_, live := newWorker(t, 2)
+	// The dead backend is listed first: the first dispatch deterministically
+	// picks it (least-loaded ties go to the earlier backend) and fails over.
+	coord := New(coordCfg(deadURL, live))
+	defer coord.Close()
+
+	st, err := coord.Submit(smallSpec(500))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitTerminal(t, coord, st.ID)
+	if got.State != StateDone {
+		t.Fatalf("job after failover = %q (error %q), want done", got.State, got.Error)
+	}
+
+	want, err := flexsnoop.RunJob(mustJob(t, smallSpec(500)))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !reflect.DeepEqual(*got.Result, want) {
+		t.Error("failed-over result differs from in-process baseline")
+	}
+
+	stats := coord.Stats()
+	if stats.Failovers == 0 {
+		t.Error("Failovers = 0 after a dispatch to a dead backend")
+	}
+	for _, b := range stats.Backends {
+		switch b.Name {
+		case strings.TrimRight(deadURL, "/"):
+			if b.Healthy {
+				t.Error("dead backend still marked healthy")
+			}
+			if b.Failovers == 0 {
+				t.Error("dead backend counts no failovers")
+			}
+			if b.LastError == "" {
+				t.Error("dead backend has no last error")
+			}
+		default:
+			if b.Completed == 0 {
+				t.Errorf("live backend %s completed nothing", b.Name)
+			}
+		}
+	}
+}
+
+// TestFederationAllBackendsDead: with every backend down, a job fails
+// fast with the last backend error instead of parking forever.
+func TestFederationAllBackendsDead(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	coord := New(coordCfg(deadURL))
+	defer coord.Close()
+
+	st, err := coord.Submit(smallSpec(600))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	got := waitTerminal(t, coord, st.ID)
+	if got.State != StateFailed {
+		t.Fatalf("job with all backends dead = %q, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "gave up") {
+		t.Errorf("error %q does not report giving up on backends", got.Error)
+	}
+	if coord.Stats().RunsFailed != 1 {
+		t.Errorf("RunsFailed = %d, want 1", coord.Stats().RunsFailed)
+	}
+}
+
+// TestFederationRegistration: a coordinator with no static backends
+// accepts a worker registration over HTTP and dispatches to it; plain
+// servers refuse registrations (403); bad URLs are 400s.
+func TestFederationRegistration(t *testing.T) {
+	worker, workerURL := newWorker(t, 2)
+
+	coord := New(Config{Workers: -1, Coordinator: true, RemotePoll: 2 * time.Millisecond})
+	defer coord.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, PollInterval: 2 * time.Millisecond}
+
+	if err := c.Register(context.Background(), BackendRegistration{URL: workerURL, Workers: 2}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Re-registration is a heartbeat, not a duplicate backend.
+	if err := c.Register(context.Background(), BackendRegistration{URL: workerURL + "/", Workers: 2}); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if n := len(coord.Stats().Backends); n != 1 {
+		t.Fatalf("backends after re-registration = %d, want 1", n)
+	}
+	if !coord.Stats().Backends[0].Registered {
+		t.Error("registered backend not flagged Registered")
+	}
+
+	res, err := c.Run(context.Background(), smallSpec(700))
+	if err != nil {
+		t.Fatalf("run via registered worker: %v", err)
+	}
+	want, err := flexsnoop.RunJob(mustJob(t, smallSpec(700)))
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Error("result via registered worker differs from in-process baseline")
+	}
+	if worker.Stats().RunsCompleted != 1 {
+		t.Errorf("worker RunsCompleted = %d, want 1", worker.Stats().RunsCompleted)
+	}
+
+	if err := c.Register(context.Background(), BackendRegistration{URL: "not a url"}); err == nil {
+		t.Error("bad registration URL accepted")
+	}
+
+	// A plain (non-coordinator) server refuses registrations.
+	if err := worker.RegisterBackend(BackendRegistration{URL: ts.URL}); !errors.Is(err, ErrNotCoordinator) {
+		t.Errorf("RegisterBackend on plain server = %v, want ErrNotCoordinator", err)
+	}
+	wc := &Client{BaseURL: workerURL}
+	err = wc.Register(context.Background(), BackendRegistration{URL: ts.URL})
+	var re *remoteError
+	if !errors.As(err, &re) || re.StatusCode != 403 {
+		t.Errorf("HTTP register on plain server = %v, want 403", err)
+	}
+}
+
+// TestFederationProbeRecovery: a backend that comes back up is
+// re-admitted by the health prober and jobs flow to it again.
+func TestFederationProbeRecovery(t *testing.T) {
+	worker, workerURL := newWorker(t, 2)
+
+	coord := New(coordCfg(workerURL))
+	defer coord.Close()
+
+	// Knock the backend unhealthy by hand (as a failed dispatch would).
+	coord.mu.Lock()
+	coord.backends[0].healthy = false
+	coord.backends[0].lastErr = "induced for test"
+	coord.mu.Unlock()
+
+	// The prober (50ms interval) must mark it healthy again and pick up
+	// its real pool size from /statsz.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		b := coord.Stats().Backends[0]
+		if b.Healthy && b.Slots == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never recovered: %+v", b)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st, err := coord.Submit(smallSpec(800))
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if got := waitTerminal(t, coord, st.ID); got.State != StateDone {
+		t.Fatalf("job after recovery = %q, want done", got.State)
+	}
+	if worker.Stats().RunsCompleted != 1 {
+		t.Errorf("worker RunsCompleted = %d, want 1", worker.Stats().RunsCompleted)
+	}
+}
+
+// TestSpecVersionRejected: a spec from a future protocol version is
+// refused with ErrSpecVersion (HTTP 400), never silently misread;
+// version 0 (field absent on the wire) means version 1 and is accepted.
+func TestSpecVersionRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	bad := smallSpec(900)
+	bad.Version = SpecVersion + 1
+	if _, err := s.Submit(bad); !errors.Is(err, ErrSpecVersion) {
+		t.Errorf("Submit version %d = %v, want ErrSpecVersion", bad.Version, err)
+	}
+	bad.Version = -1
+	if _, err := s.Submit(bad); !errors.Is(err, ErrSpecVersion) {
+		t.Errorf("Submit version -1 = %v, want ErrSpecVersion", err)
+	}
+
+	ok := smallSpec(900)
+	ok.Version = SpecVersion
+	if _, err := s.Submit(ok); err != nil {
+		t.Errorf("Submit version %d = %v, want accepted", SpecVersion, err)
+	}
+	ok.Version = 0
+	if _, err := s.Submit(ok); err != nil {
+		t.Errorf("Submit version 0 = %v, want accepted (0 means 1)", err)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	future := smallSpec(901)
+	future.Version = 99
+	_, err := c.Submit(context.Background(), future)
+	var re *remoteError
+	if !errors.As(err, &re) || re.StatusCode != 400 {
+		t.Errorf("HTTP submit of version 99 = %v, want 400", err)
+	}
+}
+
+func mustJob(t *testing.T, spec JobSpec) flexsnoop.Job {
+	t.Helper()
+	fj, err := spec.Job()
+	if err != nil {
+		t.Fatalf("spec.Job: %v", err)
+	}
+	return fj
+}

@@ -20,12 +20,22 @@ import (
 //	GET    /healthz              liveness (always 200 while serving)
 //	GET    /readyz               readiness (503 once draining)
 //	GET    /statsz               Stats snapshot as JSON
+//
+// Coordinators additionally serve the backend registry:
+//
+//	POST   /v1/backends          register (or heartbeat) a worker; 400 on
+//	                             a bad URL, 403 on a non-coordinator
+//	GET    /v1/backends          the per-backend stats slice as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/backends", s.handleRegister)
+	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats().Backends)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -86,6 +96,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, st)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var reg BackendRegistration
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+		return
+	}
+	switch err := s.RegisterBackend(reg); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "registered"})
+	case errors.Is(err, ErrNotCoordinator):
+		writeError(w, http.StatusForbidden, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -29,6 +29,15 @@ func (q *jobQueue) Push(ex *execution) bool {
 	return true
 }
 
+// Requeue re-admits an execution past the capacity check: a job that was
+// already admitted once (and is coming back off a dying backend for
+// failover) must not be lost to backpressure meant for new submissions.
+// It keeps its original admission sequence, so it sorts ahead of
+// everything submitted after it.
+func (q *jobQueue) Requeue(ex *execution) {
+	heap.Push(&q.items, ex)
+}
+
 // Pop removes and returns the highest-priority execution, or nil.
 func (q *jobQueue) Pop() *execution {
 	if len(q.items) == 0 {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,7 +53,9 @@ var (
 type Config struct {
 	// Workers is the simulation worker-pool size (default GOMAXPROCS).
 	// Each simulation is an independent single-threaded event kernel, so
-	// workers scale linearly until cores saturate.
+	// workers scale linearly until cores saturate. A negative value
+	// disables local execution entirely — meaningful only for a
+	// coordinator, which then purely dispatches to its backends.
 	Workers int
 	// QueueCapacity bounds the pending-job queue (default 64). Beyond
 	// it, submissions fail with ErrQueueFull — backpressure, not OOM.
@@ -64,13 +67,47 @@ type Config struct {
 	// canceled) job records remain queryable (default 1024). Older
 	// finished jobs are forgotten oldest-first.
 	FinishedJobRetention int
+
+	// Backends lists remote ringsimd base URLs to federate with. A
+	// non-empty list (or Coordinator) turns this server into a
+	// coordinator: queued jobs are dispatched least-loaded-first across
+	// the local pool and every healthy backend, and the result cache
+	// fronts the whole fleet.
+	Backends []string
+	// Coordinator enables federation even with no static Backends:
+	// workers announce themselves via POST /v1/backends (see
+	// RegisterLoop and ringsimd -register).
+	Coordinator bool
+	// HealthInterval paces the /readyz + /statsz probes of remote
+	// backends (default 2s).
+	HealthInterval time.Duration
+	// DispatchRetries bounds how many times a job that failed on a dying
+	// backend is re-queued and retried on another one (default 3).
+	// Beyond it the job fails with the last backend error.
+	DispatchRetries int
+	// RemotePoll paces the status polls of jobs dispatched to remote
+	// backends (default 20ms).
+	RemotePoll time.Duration
+
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
+	if c.Workers == 0 || (c.Workers < 0 && !c.federated()) {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		c.Workers = -1 // canonical "no local pool"
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.DispatchRetries <= 0 {
+		c.DispatchRetries = 3
+	}
+	if c.RemotePoll <= 0 {
+		c.RemotePoll = 20 * time.Millisecond
 	}
 	if c.QueueCapacity <= 0 {
 		c.QueueCapacity = 64
@@ -92,22 +129,25 @@ func (c Config) withDefaults() Config {
 type execution struct {
 	fp       string
 	job      flexsnoop.Job
-	label    string // "Algorithm/workload" pprof + log label
-	interval uint64 // metrics streaming interval
+	spec     JobSpec // original wire spec, re-submittable to a remote backend
+	label    string  // "Algorithm/workload" pprof + log label
+	interval uint64  // metrics streaming interval
 
 	priority   int
 	seq        uint64
 	queueIndex int // heap index; -1 when not queued
 
-	state  string
-	jobs   []*job
-	live   int // attached jobs not individually cancelled
-	ctx    context.Context
-	cancel context.CancelFunc
-	hub    *metricsHub
-	done   chan struct{}
-	result flexsnoop.Result
-	err    error
+	state    string
+	jobs     []*job
+	live     int // attached jobs not individually cancelled
+	attempts int // failed dispatches so far (federation failover)
+	lastErr  error
+	ctx      context.Context
+	cancel   context.CancelFunc
+	hub      *metricsHub
+	done     chan struct{}
+	result   flexsnoop.Result
+	err      error
 }
 
 // job is one submission. A cache hit produces a job with no execution.
@@ -163,43 +203,57 @@ type Server struct {
 	cfg   Config
 	start time.Time
 
-	mu    sync.Mutex
-	cond  *sync.Cond // signals workers: queue non-empty or shutdown
-	jobs  map[string]*job
-	order []string // job insertion order, for finished-job eviction
-	execs map[string]*execution
-	queue *jobQueue
-	cache *resultCache
-	wg    sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond // signals the dispatcher: work, slots, or shutdown
+	jobs     map[string]*job
+	order    []string // job insertion order, for finished-job eviction
+	execs    map[string]*execution
+	queue    *jobQueue
+	cache    *resultCache
+	backends []*backend // execution substrates; index 0 is local when present
+	wg       sync.WaitGroup
+	stop     chan struct{} // closed on the first Drain; stops the prober
 
 	draining bool
 	seq      uint64
-	busy     int
+	busy     int // local in-flight simulations (BusyWorkers)
 
 	// Cumulative counters (reported by /statsz).
 	submitted, rejected, deduped       uint64
 	runsCompleted, runsFailed          uint64
-	runsCanceled                       uint64
+	runsCanceled, failovers            uint64
 	simCycles                          uint64
 	faultDrops, faultDups, faultDelays uint64
 	faultStalls, snoopTimeouts         uint64
 	degradedLines                      uint64
 }
 
-// New builds and starts a server: its worker pool is live on return.
+// New builds and starts a server: its dispatcher (and, for a
+// coordinator, its health checker) is live on return.
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
 		jobs:  make(map[string]*job),
 		execs: make(map[string]*execution),
+		stop:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.queue = newJobQueue(s.cfg.QueueCapacity)
 	s.cache = newResultCache(s.cfg.CacheEntries)
-	s.wg.Add(s.cfg.Workers)
-	for i := 0; i < s.cfg.Workers; i++ {
-		go s.worker()
+	if s.cfg.Workers > 0 {
+		s.backends = append(s.backends, &backend{
+			name: "local", slots: s.cfg.Workers, healthy: true,
+		})
+	}
+	for _, url := range s.cfg.Backends {
+		s.newRemoteBackendLocked(strings.TrimRight(strings.TrimSpace(url), "/"), 0)
+	}
+	s.wg.Add(1)
+	go s.dispatcher()
+	if s.cfg.federated() {
+		s.wg.Add(1)
+		go s.prober()
 	}
 	return s
 }
@@ -254,6 +308,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	ex := &execution{
 		fp:       fp,
 		job:      fj,
+		spec:     spec,
 		label:    fj.Algorithm.String() + "/" + fj.Workload,
 		interval: interval,
 		priority: spec.Priority,
@@ -362,37 +417,96 @@ func (s *Server) Stream(id string) (hub *metricsHub, err error) {
 	return j.exec.hub, nil
 }
 
-// worker is one pool goroutine: pop, simulate, finalise, repeat.
-func (s *Server) worker() {
+// dispatcher is the single scheduling goroutine: it waits until a queued
+// execution and a backend with a free slot coexist, assigns the
+// execution to the least-loaded healthy backend, and spawns a run
+// goroutine for it. With only the local backend this degenerates to the
+// classic bounded worker pool (at most Workers concurrent simulations);
+// with remote backends it is the federation dispatch loop.
+func (s *Server) dispatcher() {
 	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
-		s.mu.Lock()
-		for s.queue.Len() == 0 && !s.draining {
+		for !s.draining && (s.queue.Len() == 0 || s.pickLocked() == nil) {
 			s.cond.Wait()
 		}
-		ex := s.queue.Pop()
-		if ex == nil {
-			s.mu.Unlock()
-			return // draining and nothing left to pop
+		if s.draining {
+			return // Drain has already cancelled everything still queued
 		}
+		ex := s.queue.Pop()
 		if ex.live == 0 {
 			// Every attached job was cancelled while queued.
 			s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
-			s.mu.Unlock()
 			continue
 		}
+		b := s.pickLocked()
+		b.inflight++
+		b.dispatched++
+		if b.client == nil {
+			s.busy++
+		}
 		ex.state = StateRunning
-		s.busy++
-		s.mu.Unlock()
-		s.logf("job run %s (%s)", ex.label, shortFP(ex.fp))
-
-		res, err := s.runExecution(ex)
-
-		s.mu.Lock()
-		s.busy--
-		s.finalizeLocked(ex, res, err)
-		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.runOn(b, ex)
 	}
+}
+
+// runOn executes one dispatched execution on its assigned backend and
+// settles it: finalised on success, deterministic failure or
+// cancellation; re-queued for failover when a remote backend died under
+// it (bounded by DispatchRetries, then failed with the last backend
+// error).
+func (s *Server) runOn(b *backend, ex *execution) {
+	defer s.wg.Done()
+	s.logf("job run %s on %s (%s)", ex.label, b.name, shortFP(ex.fp))
+
+	var res flexsnoop.Result
+	var err error
+	if b.client == nil {
+		res, err = s.runExecution(ex)
+	} else {
+		res, err = s.runRemote(b, ex)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.inflight--
+	if b.client == nil {
+		s.busy--
+	}
+	defer s.cond.Broadcast() // a slot freed (or a requeue): wake the dispatcher
+
+	// Failover: a remote backend failing for backend-side reasons while
+	// the job itself is still wanted does not fail the job — it goes back
+	// to the queue for another backend (bounded).
+	if b.client != nil && err != nil && transient(err) && ex.ctx.Err() == nil && !s.draining {
+		b.healthy = false // the prober re-admits it once /readyz answers again
+		b.lastErr = err.Error()
+		b.failovers++
+		s.failovers++
+		ex.attempts++
+		ex.lastErr = err
+		// Retry on another backend — unless the retries are spent, or no
+		// healthy backend is left to retry on (failing fast beats parking
+		// the job until an operator notices the whole fleet is down).
+		if ex.attempts <= s.cfg.DispatchRetries && s.anyHealthyLocked() {
+			ex.state = StateQueued
+			s.queue.Requeue(ex)
+			s.logf("job %s failing over from %s (attempt %d/%d): %v",
+				ex.label, b.name, ex.attempts, s.cfg.DispatchRetries, err)
+			return
+		}
+		err = fmt.Errorf("service: job gave up after %d backend failures, last on %s: %w",
+			ex.attempts, b.name, err)
+	}
+	if err == nil {
+		b.completed++
+	} else if !errors.Is(err, context.Canceled) {
+		b.failed++
+		b.lastErr = err.Error()
+	}
+	s.finalizeLocked(ex, res, err)
 }
 
 // runExecution performs the simulation outside the server lock, labelled
@@ -463,6 +577,9 @@ func (s *Server) Drain(timeout time.Duration) {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
+	if !already {
+		close(s.stop) // stops the prober
+	}
 	for {
 		ex := s.queue.Pop()
 		if ex == nil {
@@ -526,6 +643,13 @@ type Stats struct {
 	RunsCanceled   uint64 `json:"runs_canceled"`
 	SimCyclesTotal uint64 `json:"sim_cycles_total"`
 
+	// Federation (coordinator mode only). Failovers counts executions
+	// re-queued off a failing backend; Backends is the per-backend view:
+	// health, load, dispatch counters, and each remote's own queue depth
+	// and cache hit rate as of the last probe.
+	Failovers uint64         `json:"failovers,omitempty"`
+	Backends  []BackendStats `json:"backends,omitempty"`
+
 	// Robustness counters aggregated over completed runs.
 	FaultDrops    uint64 `json:"fault_drops"`
 	FaultDups     uint64 `json:"fault_dups"`
@@ -539,10 +663,14 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	workers := s.cfg.Workers
+	if workers < 0 {
+		workers = 0 // coordinator without local execution
+	}
 	st := Stats{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Draining:       s.draining,
-		Workers:        s.cfg.Workers,
+		Workers:        workers,
 		BusyWorkers:    s.busy,
 		QueueDepth:     s.queue.Len(),
 		QueueCapacity:  s.cfg.QueueCapacity,
@@ -570,6 +698,12 @@ func (s *Server) Stats() Stats {
 	}
 	for _, j := range s.jobs {
 		st.JobStates[j.statusLocked().State]++
+	}
+	if s.cfg.federated() {
+		st.Failovers = s.failovers
+		for _, b := range s.backends {
+			st.Backends = append(st.Backends, b.statsLocked())
+		}
 	}
 	return st
 }

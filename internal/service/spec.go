@@ -1,10 +1,24 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 
 	"flexsnoop"
 )
+
+// SpecVersion is the JobSpec wire version this build speaks. The
+// compatibility rule (DESIGN.md §9): within one version, changes are
+// strictly additive (new optional fields with zero-value defaults); any
+// change that alters the meaning of an existing field bumps SpecVersion.
+// Servers accept every version up to their own and reject newer ones
+// with ErrSpecVersion (HTTP 400), so an old coordinator never silently
+// misinterprets a spec from a newer client.
+const SpecVersion = 1
+
+// ErrSpecVersion: the spec declares a wire version this server does not
+// speak (HTTP 400).
+var ErrSpecVersion = errors.New("service: unsupported job spec version")
 
 // JobSpec is the wire shape of one job submission (POST /v1/jobs). It is
 // deliberately a flat, JSON-friendly projection of flexsnoop.Options:
@@ -12,6 +26,10 @@ import (
 // particular there is no way to smuggle a Tweak hook in, which keeps
 // every spec canonically fingerprintable and therefore cacheable.
 type JobSpec struct {
+	// Version is the wire version of the spec (see SpecVersion). Zero
+	// means "version 1": the field was introduced with version 1, so
+	// specs that predate it are by definition v1.
+	Version int `json:"version,omitempty"`
 	// Algorithm and Workload name the run (required).
 	Algorithm string `json:"algorithm"`
 	Workload  string `json:"workload"`
@@ -54,6 +72,10 @@ type SpecOptions struct {
 // ErrUnknownWorkload via the later run, ErrFaultPlan, ...), so callers
 // can classify them.
 func (s JobSpec) Job() (flexsnoop.Job, error) {
+	if s.Version < 0 || s.Version > SpecVersion {
+		return flexsnoop.Job{}, fmt.Errorf("%w: %d (this server speaks versions 1..%d)",
+			ErrSpecVersion, s.Version, SpecVersion)
+	}
 	alg, err := flexsnoop.ParseAlgorithm(s.Algorithm)
 	if err != nil {
 		return flexsnoop.Job{}, err
@@ -128,6 +150,7 @@ func SpecFor(alg flexsnoop.Algorithm, workload string, o flexsnoop.Options) (Job
 			"(stream /v1/jobs/{id}/metrics instead)", flexsnoop.ErrBadConfig)
 	}
 	spec := JobSpec{
+		Version:   SpecVersion,
 		Algorithm: alg.String(),
 		Workload:  workload,
 		Options: SpecOptions{
