@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 )
@@ -21,11 +22,18 @@ type BenchConfig struct {
 	// allocs/op stay comparable across BENCH_*.json generations.
 	Short bool
 	// Scenarios, when non-empty, restricts the run to the named
-	// scenarios (see BenchScenarios).
+	// scenarios (see BenchScenarios). Shard variants are selected by
+	// their own row names ("matrix-subset-shard").
 	Scenarios []string
-	// ShardRings enables Options.ShardRings for the simulation scenarios
-	// (recorded in the artifact so numbers are compared like for like).
+	// ShardRings forces Options.ShardRings on for every row, including
+	// the ones that would normally run serial. The default suite already
+	// contains dedicated "-shard" rows, so this is only useful for
+	// ad-hoc comparisons.
 	ShardRings bool
+	// ProfileDir, when non-empty, writes per-scenario CPU and heap
+	// profiles (<dir>/<scenario>.cpu.prof, <dir>/<scenario>.mem.prof)
+	// covering each scenario's measured region.
+	ProfileDir string
 	// GitCommit, when non-empty, is recorded in the artifact (cmd/bench
 	// fills it from `git rev-parse`).
 	GitCommit string
@@ -37,8 +45,13 @@ type BenchConfig struct {
 // CyclesPerSec is the simulator's throughput in simulated cycles per
 // wall-clock second.
 type BenchResult struct {
-	Name         string  `json:"name"`
-	Iterations   int     `json:"iterations"`
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	// ShardRings and GoMaxProcs record the configuration of THIS row —
+	// they live per-result (not per-suite) so one BENCH file can hold
+	// serial and sharded rows side by side without lying about either.
+	ShardRings   bool    `json:"shard_rings"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
@@ -47,14 +60,13 @@ type BenchResult struct {
 }
 
 // BenchSuite is the BENCH_<pr>.json document: the full scenario set from
-// one RunBenchSuite call, plus the environment that produced it (git
-// commit, GOMAXPROCS and the ShardRings mode), so artifacts from
-// different PRs are compared like for like.
+// one RunBenchSuite call, plus the environment that produced it, so
+// artifacts from different PRs are compared like for like. Per-row
+// configuration (ShardRings, GOMAXPROCS) lives on each BenchResult.
 type BenchSuite struct {
 	GoVersion   string        `json:"go_version"`
 	GitCommit   string        `json:"git_commit,omitempty"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
-	ShardRings  bool          `json:"shard_rings"`
 	Short       bool          `json:"short"`
 	GeneratedAt string        `json:"generated_at"`
 	Results     []BenchResult `json:"results"`
@@ -74,10 +86,11 @@ func (s *BenchSuite) Result(name string) (BenchResult, bool) {
 // outside the measured region, and returns the per-iteration body; the
 // body returns the simulated cycles it covered.
 type benchScenario struct {
-	name  string
-	ops   uint64 // reference count per core at full size
-	fixed bool   // ops not halved in Short mode
-	setup func(ops uint64, shard bool) (func() (uint64, error), func(), error)
+	name      string
+	ops       uint64 // reference count per core at full size
+	fixed     bool   // ops not halved in Short mode
+	shardable bool   // also run a "<name>-shard" row with ShardRings on
+	setup     func(ops uint64, shard bool) (func() (uint64, error), func(), error)
 }
 
 // benchScenarios returns the fixed scenario set, in run order.
@@ -88,7 +101,7 @@ func benchScenarios() []benchScenario {
 			// every algorithm over barnes, fft, SPECjbb and SPECweb.
 			// This is the suite's headline allocs/op number, so its
 			// size is fixed across Short and full runs.
-			name: "matrix-subset", ops: 800, fixed: true,
+			name: "matrix-subset", ops: 800, fixed: true, shardable: true,
 			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
 				opts := FigureOptions{OpsPerCore: ops, Seed: 1, Apps: []string{"barnes", "fft"}, ShardRings: shard}
 				return func() (uint64, error) {
@@ -108,7 +121,7 @@ func benchScenarios() []benchScenario {
 		},
 		{
 			// The largest machine of the scaling study: one 16-CMP run.
-			name: "scaling-16cmp", ops: 600,
+			name: "scaling-16cmp", ops: 600, shardable: true,
 			setup: func(ops uint64, shard bool) (func() (uint64, error), func(), error) {
 				opts := Options{
 					OpsPerCore: ops, Seed: 1, ShardRings: shard,
@@ -178,18 +191,43 @@ func benchScenarios() []benchScenario {
 	}
 }
 
-// BenchScenarios lists the scenario names RunBenchSuite knows, in run
-// order.
+// benchRow is one measured row of the suite: a scenario plus the ring
+// execution mode it runs under.
+type benchRow struct {
+	sc    benchScenario
+	name  string
+	shard bool
+}
+
+// benchRows expands the scenario set into the suite's row list: every
+// scenario once in its default mode, plus a "<name>-shard" row for the
+// shardable simulation scenarios. With cfg.ShardRings every row is
+// sharded already, so the dedicated variants would be duplicates and are
+// skipped.
+func benchRows(cfg BenchConfig) []benchRow {
+	var rows []benchRow
+	for _, sc := range benchScenarios() {
+		rows = append(rows, benchRow{sc: sc, name: sc.name, shard: cfg.ShardRings})
+		if sc.shardable && !cfg.ShardRings {
+			rows = append(rows, benchRow{sc: sc, name: sc.name + "-shard", shard: true})
+		}
+	}
+	return rows
+}
+
+// BenchScenarios lists the row names RunBenchSuite produces by default,
+// in run order (shard variants included).
 func BenchScenarios() []string {
 	var names []string
-	for _, sc := range benchScenarios() {
-		names = append(names, sc.name)
+	for _, row := range benchRows(BenchConfig{}) {
+		names = append(names, row.name)
 	}
 	return names
 }
 
-// RunBenchSuite measures every scenario (or the cfg.Scenarios subset)
-// with testing.Benchmark and returns the suite document for BENCH_*.json.
+// RunBenchSuite measures every row (or the cfg.Scenarios subset, matched
+// by row name) with testing.Benchmark and returns the suite document for
+// BENCH_*.json.
 func RunBenchSuite(cfg BenchConfig) (*BenchSuite, error) {
 	want := map[string]bool{}
 	for _, n := range cfg.Scenarios {
@@ -199,55 +237,111 @@ func RunBenchSuite(cfg BenchConfig) (*BenchSuite, error) {
 		GoVersion:   runtime.Version(),
 		GitCommit:   cfg.GitCommit,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		ShardRings:  cfg.ShardRings,
 		Short:       cfg.Short,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	for _, sc := range benchScenarios() {
-		if len(want) > 0 && !want[sc.name] {
+	for _, row := range benchRows(cfg) {
+		if len(want) > 0 && !want[row.name] {
 			continue
 		}
+		sc := row.sc
 		ops := sc.ops
 		if cfg.Short && !sc.fixed {
 			ops /= 2
 		}
-		body, cleanup, err := sc.setup(ops, cfg.ShardRings)
+		body, cleanup, err := sc.setup(ops, row.shard)
 		if err != nil {
-			return nil, fmt.Errorf("flexsnoop: bench %s setup: %w", sc.name, err)
+			return nil, fmt.Errorf("flexsnoop: bench %s setup: %w", row.name, err)
 		}
-		var cycles uint64
-		var runErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				c, err := body()
-				if err != nil {
-					runErr = err
-					b.StopTimer()
-					return
-				}
-				cycles = c
-			}
-		})
+		res, err := measureRow(cfg, row, body)
 		if cleanup != nil {
 			cleanup()
 		}
-		if runErr != nil {
-			return nil, fmt.Errorf("flexsnoop: bench %s: %w", sc.name, runErr)
-		}
-		nsOp := r.NsPerOp()
-		res := BenchResult{
-			Name:        sc.name,
-			Iterations:  r.N,
-			NsPerOp:     nsOp,
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			SimCycles:   cycles,
-		}
-		if nsOp > 0 {
-			res.CyclesPerSec = float64(cycles) / (float64(nsOp) / 1e9)
+		if err != nil {
+			return nil, err
 		}
 		suite.Results = append(suite.Results, res)
 	}
 	return suite, nil
+}
+
+// measureRow runs one row's testing.Benchmark, bracketed by the optional
+// per-row CPU profile (heap profile written after the measured region).
+func measureRow(cfg BenchConfig, row benchRow, body func() (uint64, error)) (BenchResult, error) {
+	var cpuFile *os.File
+	if cfg.ProfileDir != "" {
+		if err := os.MkdirAll(cfg.ProfileDir, 0o755); err != nil {
+			return BenchResult{}, fmt.Errorf("flexsnoop: bench profile dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(cfg.ProfileDir, row.name+".cpu.prof"))
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("flexsnoop: bench %s: %w", row.name, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return BenchResult{}, fmt.Errorf("flexsnoop: bench %s: %w", row.name, err)
+		}
+		cpuFile = f
+	}
+	// Shard rows measure the parallel dispatch path, which needs more
+	// than one P to overlap ring workers; on a single-CPU host the row
+	// runs with GOMAXPROCS=2 (time-sliced) rather than silently
+	// degenerating to serial scheduling.
+	procs := runtime.GOMAXPROCS(0)
+	if row.shard && procs < 2 {
+		procs = 2
+		prev := runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	var cycles uint64
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := body()
+			if err != nil {
+				runErr = err
+				b.StopTimer()
+				return
+			}
+			cycles = c
+		}
+	})
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+		if err := writeHeapProfile(filepath.Join(cfg.ProfileDir, row.name+".mem.prof")); err != nil {
+			return BenchResult{}, fmt.Errorf("flexsnoop: bench %s: %w", row.name, err)
+		}
+	}
+	if runErr != nil {
+		return BenchResult{}, fmt.Errorf("flexsnoop: bench %s: %w", row.name, runErr)
+	}
+	nsOp := r.NsPerOp()
+	res := BenchResult{
+		Name:        row.name,
+		Iterations:  r.N,
+		ShardRings:  row.shard,
+		GoMaxProcs:  procs,
+		NsPerOp:     nsOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SimCycles:   cycles,
+	}
+	if nsOp > 0 {
+		res.CyclesPerSec = float64(cycles) / (float64(nsOp) / 1e9)
+	}
+	return res, nil
+}
+
+// writeHeapProfile records an up-to-date allocation profile so the
+// alloc_objects/alloc_space views cover the whole measured region.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }

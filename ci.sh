@@ -62,7 +62,9 @@ go test -run TestRingsimdFederation -count=1 ./cmd/ringsimd
 echo "== bench (short) =="
 # Record this PR's benchmark numbers; cmd/bench prints comparisons
 # against every prior BENCH_*.json and fails on a >25% throughput
-# regression versus the newest one.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_6.json
+# regression versus the newest one. The default suite includes the
+# matrix-subset-shard and scaling-16cmp-shard rows, so this single
+# invocation gates both serial and ShardRings throughput.
+go run ./cmd/bench -short -maxregress 25 -out BENCH_7.json
 
 echo "CI OK"

@@ -6,11 +6,13 @@
 // Usage:
 //
 //	bench [-out BENCH_3.json] [-short] [-shard] [-run matrix-subset,...]
-//	      [-maxregress 25] [-list]
+//	      [-maxregress 25] [-profiledir prof/] [-list]
 //
 // With -maxregress N, bench exits non-zero when any scenario's simulated
 // cycles-per-second throughput drops more than N percent against the
-// newest prior artifact — the ci.sh regression gate.
+// newest prior artifact — the ci.sh regression gate. The default suite
+// already includes "-shard" rows for the shardable scenarios, so one
+// gated run covers serial and sharded execution.
 package main
 
 import (
@@ -31,10 +33,11 @@ import (
 var (
 	outFlag    = flag.String("out", "", "output JSON file (default: print to stdout)")
 	shortFlag  = flag.Bool("short", false, "short mode: smaller scenarios (matrix-subset stays full size)")
-	shardFlag  = flag.Bool("shard", false, "run scenarios with ShardRings enabled (recorded in the artifact)")
-	runFlag    = flag.String("run", "", "comma-separated scenario subset (default: all)")
-	listFlag   = flag.Bool("list", false, "list scenarios, then exit")
+	shardFlag  = flag.Bool("shard", false, "force ShardRings on for every row (the default suite already has dedicated -shard rows)")
+	runFlag    = flag.String("run", "", "comma-separated row subset (default: all; shard variants are named <scenario>-shard)")
+	listFlag   = flag.Bool("list", false, "list scenario rows, then exit")
 	maxRegress = flag.Float64("maxregress", 0, "fail when sim_cycles_per_sec drops more than this percent vs the newest prior artifact (0 = off)")
+	profileDir = flag.String("profiledir", "", "write per-row CPU and heap profiles (<dir>/<row>.cpu.prof, <dir>/<row>.mem.prof)")
 )
 
 func main() {
@@ -55,6 +58,7 @@ func run() error {
 	cfg := flexsnoop.BenchConfig{
 		Short:      *shortFlag,
 		ShardRings: *shardFlag,
+		ProfileDir: *profileDir,
 		GitCommit:  gitCommit(),
 	}
 	if *runFlag != "" {
@@ -105,11 +109,12 @@ func gitCommit() string {
 
 func printSuite(s *flexsnoop.BenchSuite) {
 	t := stats.NewTable(
-		fmt.Sprintf("Benchmark suite (%s, short=%v, shard=%v, gomaxprocs=%d)",
-			s.GoVersion, s.Short, s.ShardRings, s.GoMaxProcs),
-		"Scenario", "ns/op", "allocs/op", "B/op", "sim cycles", "Mcycles/s")
+		fmt.Sprintf("Benchmark suite (%s, short=%v, gomaxprocs=%d)",
+			s.GoVersion, s.Short, s.GoMaxProcs),
+		"Scenario", "shard", "ns/op", "allocs/op", "B/op", "sim cycles", "Mcycles/s")
 	for _, r := range s.Results {
-		t.AddRowf(r.Name, fmt.Sprintf("%d", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
+		t.AddRowf(r.Name, fmt.Sprintf("%v", r.ShardRings),
+			fmt.Sprintf("%d", r.NsPerOp), fmt.Sprintf("%d", r.AllocsPerOp),
 			fmt.Sprintf("%d", r.BytesPerOp), fmt.Sprintf("%d", r.SimCycles),
 			r.CyclesPerSec/1e6)
 	}

@@ -238,7 +238,9 @@ func TestRunBenchSuiteSmoke(t *testing.T) {
 	if r.AllocsPerOp <= 0 {
 		t.Errorf("allocs/op = %d; memory accounting missing", r.AllocsPerOp)
 	}
-	if len(flexsnoop.BenchScenarios()) != 4 {
-		t.Errorf("scenario set = %v, want 4 entries", flexsnoop.BenchScenarios())
+	// 4 scenarios plus the matrix-subset-shard and scaling-16cmp-shard
+	// variant rows.
+	if len(flexsnoop.BenchScenarios()) != 6 {
+		t.Errorf("scenario set = %v, want 6 rows", flexsnoop.BenchScenarios())
 	}
 }

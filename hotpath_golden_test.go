@@ -1,0 +1,90 @@
+package flexsnoop_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flexsnoop"
+)
+
+// These tests pin the determinism contract across the hot-path data
+// structures: the simulation's observable output — the full Result
+// document and the telemetry trace byte stream — must be bit-identical
+// between serial and ShardRings execution, and bit-identical across
+// repeated fault-injected runs, traced or not. Any hash-table or
+// iteration-order dependence introduced on the hot path breaks one of
+// these comparisons immediately.
+
+// runTraced executes one run and returns its Result as canonical JSON
+// plus the raw trace bytes.
+func runTraced(t *testing.T, alg flexsnoop.Algorithm, wl string, opts flexsnoop.Options) ([]byte, []byte) {
+	t.Helper()
+	var trace bytes.Buffer
+	opts.Telemetry = &flexsnoop.TelemetryOptions{Trace: &trace, TraceFormat: flexsnoop.TraceFormatJSONL}
+	res, err := flexsnoop.Run(alg, wl, opts)
+	if err != nil {
+		t.Fatalf("%v/%s: %v", alg, wl, err)
+	}
+	doc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, trace.Bytes()
+}
+
+func TestGoldenSerialShardByteIdentity(t *testing.T) {
+	for _, alg := range []flexsnoop.Algorithm{flexsnoop.Lazy, flexsnoop.SupersetAgg, flexsnoop.Exact} {
+		serialDoc, serialTrace := runTraced(t, alg, "barnes", flexsnoop.Options{OpsPerCore: 300, Seed: 5})
+		shardDoc, shardTrace := runTraced(t, alg, "barnes", flexsnoop.Options{OpsPerCore: 300, Seed: 5, ShardRings: true})
+		if !bytes.Equal(serialDoc, shardDoc) {
+			t.Errorf("%v: serial and -shard results differ:\n serial: %s\n shard:  %s", alg, serialDoc, shardDoc)
+		}
+		if !bytes.Equal(serialTrace, shardTrace) {
+			t.Errorf("%v: serial and -shard trace bytes differ (%d vs %d bytes)", alg, len(serialTrace), len(shardTrace))
+		}
+	}
+}
+
+func TestGoldenFaultRunByteIdentity(t *testing.T) {
+	plan, err := flexsnoop.ParseFaultPlan("kind=drop,rate=0.03,seed=3;kind=dup,rate=0.03,seed=4;kind=delay,rate=0.05,delay=80,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := flexsnoop.Options{OpsPerCore: 250, Seed: 5, Faults: plan, CheckEvery: 5000}
+
+	doc1, trace1 := runTraced(t, flexsnoop.SupersetAgg, "fft", opts)
+	doc2, trace2 := runTraced(t, flexsnoop.SupersetAgg, "fft", opts)
+	if !bytes.Equal(doc1, doc2) {
+		t.Errorf("repeated fault runs differ:\n 1: %s\n 2: %s", doc1, doc2)
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Errorf("repeated fault runs produced different trace bytes (%d vs %d)", len(trace1), len(trace2))
+	}
+
+	// Tracing itself must not perturb the simulation: an untraced run's
+	// Result matches the traced one byte for byte.
+	res, err := flexsnoop.Run(flexsnoop.SupersetAgg, "fft", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainDoc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc1, plainDoc) {
+		t.Errorf("traced and untraced fault runs differ:\n traced:   %s\n untraced: %s", doc1, plainDoc)
+	}
+
+	// Fault injection happens in the serial merge stage, so the sharded
+	// fault run must match too.
+	shardOpts := opts
+	shardOpts.ShardRings = true
+	shardDoc, shardTrace := runTraced(t, flexsnoop.SupersetAgg, "fft", shardOpts)
+	if !bytes.Equal(doc1, shardDoc) {
+		t.Errorf("serial and -shard fault runs differ:\n serial: %s\n shard:  %s", doc1, shardDoc)
+	}
+	if !bytes.Equal(trace1, shardTrace) {
+		t.Errorf("serial and -shard fault runs produced different trace bytes (%d vs %d)", len(trace1), len(shardTrace))
+	}
+}

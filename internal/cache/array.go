@@ -10,7 +10,8 @@ import (
 // It tracks coherence state per line; data values are abstracted into the
 // per-line Version counter.
 type Array struct {
-	sets     [][]Line // each set ordered MRU-first
+	sets     [][]Line // each set ordered MRU-first; nil until first insert
+	arena    []Line   // chunked backing store for touched sets
 	assoc    int
 	setMask  LineAddr
 	setShift uint
@@ -42,19 +43,38 @@ func NewArrayGeometry(sets, assoc int) *Array {
 	return newArray(sets, assoc)
 }
 
-// newArray carves every set out of one backing slab: a machine builds
-// thousands of arrays, and one allocation per array beats one per set.
+// newArray allocates only the set-header table up front. Set backing is
+// carved lazily out of a chunked arena on first insert (setStorage): a
+// machine builds thousands of arrays, and in a typical run most sets of
+// the large L2 arrays are never touched, so eager sets*assoc slabs
+// dominated the whole simulation's allocated bytes.
 func newArray(sets, assoc int) *Array {
-	a := &Array{
+	return &Array{
 		sets:    make([][]Line, sets),
 		assoc:   assoc,
 		setMask: LineAddr(sets - 1),
 	}
-	backing := make([]Line, sets*assoc)
-	for i := range a.sets {
-		a.sets[i] = backing[i*assoc : i*assoc : (i+1)*assoc]
+}
+
+// setArenaChunk is the number of sets worth of lines allocated per arena
+// refill — big enough to amortise allocation, small enough that a
+// sparsely-touched array stays cheap.
+const setArenaChunk = 64
+
+// setStorage returns the set's backing slice, allocating fixed-capacity
+// storage (cap == assoc, so in-place appends never reallocate and line
+// pointers stay stable per set) from the arena on first touch.
+func (a *Array) setStorage(si int) []Line {
+	if set := a.sets[si]; set != nil {
+		return set
 	}
-	return a
+	if len(a.arena) < a.assoc {
+		a.arena = make([]Line, setArenaChunk*a.assoc)
+	}
+	set := a.arena[:0:a.assoc]
+	a.arena = a.arena[a.assoc:]
+	a.sets[si] = set
+	return set
 }
 
 func (a *Array) setFor(addr LineAddr) int { return int(addr & a.setMask) }
@@ -97,13 +117,21 @@ func (a *Array) Touch(addr LineAddr) {
 	}
 }
 
-// Access combines Lookup and Touch, updating hit/miss stats.
+// Access combines Lookup and Touch, updating hit/miss stats. The hit
+// path is a single scan of the set: find, rotate to MRU, return the
+// front entry.
 func (a *Array) Access(addr LineAddr) *Line {
-	if l := a.Lookup(addr); l != nil {
-		a.Hits++
-		a.Touch(addr)
-		// Touch may have moved the entry; re-find it.
-		return a.Lookup(addr)
+	set := a.sets[a.setFor(addr)]
+	for i := range set {
+		if set[i].Addr == addr {
+			a.Hits++
+			if i > 0 {
+				l := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = l
+			}
+			return &set[0]
+		}
 	}
 	a.Misses++
 	return nil
@@ -120,15 +148,20 @@ func (a *Array) Insert(addr LineAddr, st State, version uint64) (victim Line, ev
 	set := a.sets[si]
 	for i := range set {
 		if set[i].Addr == addr {
-			set[i].State = st
-			set[i].Version = version
-			a.Touch(addr)
+			l := set[i]
+			l.State = st
+			l.Version = version
+			if i > 0 {
+				copy(set[1:i+1], set[0:i])
+			}
+			set[0] = l
 			return Line{}, false
 		}
 	}
 	l := Line{Addr: addr, State: st, Version: version}
 	if len(set) < a.assoc {
-		set = append(set, Line{})
+		set = a.setStorage(si)
+		set = set[:len(set)+1]
 		copy(set[1:], set[0:len(set)-1])
 		set[0] = l
 		a.sets[si] = set

@@ -10,8 +10,11 @@ package checker
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"flexsnoop/internal/cache"
+	"flexsnoop/internal/hotmap"
 	"flexsnoop/internal/protocol"
 )
 
@@ -21,28 +24,84 @@ type copyInfo struct {
 	line       cache.Line
 }
 
+// copyScratch keeps the gather slice across Check calls: the continuous
+// checker sweeps every cached line repeatedly, and regrowing the slice
+// each sweep was a measurable share of simulation allocations. A plain
+// mutex-guarded slice (not a sync.Pool) survives GC cycles, so the
+// grown capacity is paid once per process; serializing concurrent Check
+// calls is fine — the continuous checker runs on a single-threaded
+// simulation loop.
+var (
+	scratchMu   sync.Mutex
+	copyScratch []copyInfo
+	// copyIndex maps an address to the start of its run in the sorted
+	// gather slice, built during the per-line pass so the supplier-index
+	// sweep does a table lookup instead of a binary search per entry.
+	copyIndex hotmap.Table[int32]
+)
+
 // Check runs every invariant against the engine, returning the first
-// violation found.
+// violation found. The continuous checker runs this on the simulation hot
+// path, so copies are gathered into one flat slice and grouped by sorting
+// — one allocation per sweep instead of a map of per-line slices — which
+// also makes the reported violation deterministic (lowest address wins)
+// where map iteration order would have been random.
 func Check(e *protocol.Engine) error {
-	byAddr := map[cache.LineAddr][]copyInfo{}
+	scratchMu.Lock()
+	all := copyScratch[:0]
+	defer func() { copyScratch = all[:0]; scratchMu.Unlock() }()
 	e.ForEachLine(func(node, core int, l cache.Line) {
-		byAddr[l.Addr] = append(byAddr[l.Addr], copyInfo{node, core, l})
+		all = append(all, copyInfo{node, core, l})
+	})
+	slices.SortFunc(all, func(a, b copyInfo) int {
+		if a.line.Addr != b.line.Addr {
+			if a.line.Addr < b.line.Addr {
+				return -1
+			}
+			return 1
+		}
+		if a.node != b.node {
+			return a.node - b.node
+		}
+		return a.core - b.core
 	})
 
-	for addr, copies := range byAddr {
-		if err := checkLine(e, addr, copies); err != nil {
+	copyIndex.Reset()
+	for i := 0; i < len(all); {
+		j := i + 1
+		for j < len(all) && all[j].line.Addr == all[i].line.Addr {
+			j++
+		}
+		copyIndex.Put(uint64(all[i].line.Addr), int32(i))
+		if err := checkLine(e, all[i].line.Addr, all[i:j]); err != nil {
 			return err
 		}
+		i = j
 	}
 
 	// Gateway supplier indexes must not list lines with no supplier copy.
 	var idxErr error
 	e.ForEachSupplierIndex(func(n int, addr cache.LineAddr) {
-		if idxErr == nil && !hasSupplierAt(byAddr[addr], n) {
+		if idxErr == nil && !hasSupplierAt(copiesOf(all, addr), n) {
 			idxErr = fmt.Errorf("node %d indexes %#x as supplier but holds no supplier copy", n, addr)
 		}
 	})
 	return idxErr
+}
+
+// copiesOf returns the sorted slice's run of copies for one address,
+// located via the index built during the per-line pass.
+func copiesOf(all []copyInfo, addr cache.LineAddr) []copyInfo {
+	start, ok := copyIndex.Get(uint64(addr))
+	if !ok {
+		return nil
+	}
+	i := int(start)
+	j := i
+	for j < len(all) && all[j].line.Addr == addr {
+		j++
+	}
+	return all[i:j]
 }
 
 func hasSupplierAt(copies []copyInfo, node int) bool {

@@ -1,0 +1,249 @@
+// Package hotmap provides purpose-built open-addressing hash tables for
+// the simulator's per-cycle hot path, replacing Go maps keyed by
+// cache.LineAddr and ring.TxnID in the protocol engine, the memory
+// controllers and the supplier predictors.
+//
+// Design (DESIGN.md §10):
+//
+//   - Linear probing over a power-of-two slot array. Keys are mixed with
+//     the splitmix64 finalizer, so sequential line addresses and
+//     transaction IDs spread evenly.
+//   - Tombstone-free deletion by backward shift: Delete re-packs the
+//     cluster that follows the hole, so load factor never degrades over a
+//     long run and lookups stay one short linear scan.
+//   - Keys and values live in separate parallel slices (struct-of-arrays):
+//     a probe touches only the key array until it hits, so misses stay in
+//     one or two cache lines regardless of the value size.
+//   - Zero is a valid key: slots store key+1, and 0 marks an empty slot.
+//   - Reset clears in place without releasing the backing arrays, so a
+//     table reused across runs reaches a steady state where it allocates
+//     nothing.
+//
+// Tables are NOT safe for concurrent use and iteration must not mutate;
+// both match the engine's single-threaded event loop. Use a Go map
+// instead when keys are not integers, when the table is cold, or when
+// entries must survive arbitrary concurrent access.
+package hotmap
+
+// maxKey is the one unrepresentable key (stored keys are key+1 and 0
+// marks an empty slot).
+const maxKey = ^uint64(0)
+
+// minSlots keeps tiny tables a single cache line of keys.
+const minSlots = 8
+
+// Table is an open-addressed hash table from uint64 keys to values of
+// type V. The zero Table is ready to use.
+type Table[V any] struct {
+	keys []uint64 // stored key+1; 0 = empty
+	vals []V
+	mask uint64
+	n    int
+}
+
+// New returns a table pre-sized so sizeHint entries fit without growing.
+func New[V any](sizeHint int) *Table[V] {
+	t := &Table[V]{}
+	if sizeHint > 0 {
+		t.init(slotsFor(sizeHint))
+	}
+	return t
+}
+
+// slotsFor returns the power-of-two slot count that holds n entries
+// within the 3/4 maximum load factor.
+func slotsFor(n int) int {
+	slots := minSlots
+	for n*4 > slots*3 {
+		slots <<= 1
+	}
+	return slots
+}
+
+func (t *Table[V]) init(slots int) {
+	t.keys = make([]uint64, slots)
+	t.vals = make([]V, slots)
+	t.mask = uint64(slots - 1)
+}
+
+// mix is the splitmix64 finalizer: a cheap bijective scrambler that
+// spreads the simulator's small, mostly-sequential keys across the slot
+// space.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// Len reports the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Get returns the value stored under k.
+func (t *Table[V]) Get(k uint64) (V, bool) {
+	var zero V
+	if t.n == 0 {
+		return zero, false
+	}
+	// Deriving the mask from len(keys) (a power of two) lets the
+	// compiler prove i in range and drop the bounds checks on the probe
+	// loop; vals is re-sliced to the same length for the same reason.
+	keys := t.keys
+	vals := t.vals[:len(keys)]
+	mask := uint64(len(keys) - 1)
+	kk := k + 1
+	i := mix(k) & mask
+	for {
+		sk := keys[i]
+		if sk == kk {
+			return vals[i], true
+		}
+		if sk == 0 {
+			return zero, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Has reports whether k is present.
+func (t *Table[V]) Has(k uint64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Put stores v under k, replacing any existing entry.
+func (t *Table[V]) Put(k uint64, v V) { *t.Upsert(k) = v }
+
+// Upsert returns a pointer to the value stored under k, inserting a
+// zero value first when the key is absent. The pointer is valid only
+// until the next Put/Upsert/Delete/Reset (growth and backward-shift
+// deletion both move entries).
+func (t *Table[V]) Upsert(k uint64) *V {
+	if k == maxKey {
+		panic("hotmap: key 2^64-1 is reserved")
+	}
+	if t.keys == nil {
+		t.init(minSlots)
+	}
+	kk := k + 1
+	keys := t.keys
+	vals := t.vals[:len(keys)]
+	mask := uint64(len(keys) - 1)
+	i := mix(k) & mask
+	for {
+		sk := keys[i]
+		if sk == kk {
+			return &vals[i]
+		}
+		if sk == 0 {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	if (t.n+1)*4 > len(t.keys)*3 {
+		t.grow()
+		i = mix(k) & t.mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+	}
+	t.keys[i] = kk
+	t.n++
+	var zero V
+	t.vals[i] = zero
+	return &t.vals[i]
+}
+
+// grow doubles the slot array and reinserts every entry.
+func (t *Table[V]) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(len(oldKeys) * 2)
+	for i, sk := range oldKeys {
+		if sk == 0 {
+			continue
+		}
+		j := mix(sk-1) & t.mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = sk
+		t.vals[j] = oldVals[i]
+	}
+}
+
+// Delete removes k, reporting whether it was present. Deletion is
+// tombstone-free: the probe cluster after the hole is shifted back, so
+// the table never accumulates dead slots.
+func (t *Table[V]) Delete(k uint64) bool {
+	if t.n == 0 {
+		return false
+	}
+	kk := k + 1
+	keys := t.keys
+	vals := t.vals[:len(keys)]
+	mask := uint64(len(keys) - 1)
+	i := mix(k) & mask
+	for {
+		sk := keys[i]
+		if sk == kk {
+			break
+		}
+		if sk == 0 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	// Backward-shift: walk the cluster after the hole; any entry whose
+	// home slot lies cyclically outside (hole, entry] can legally move
+	// into the hole, re-opening the hole at its old position.
+	var zero V
+	j := i
+	for {
+		j = (j + 1) & mask
+		sk := keys[j]
+		if sk == 0 {
+			break
+		}
+		home := mix(sk-1) & mask
+		// home in cyclic interval (i, j] means the entry is already at
+		// or after its home within the cluster remainder; it must stay.
+		if ((j - home) & mask) < ((j - i) & mask) {
+			continue
+		}
+		keys[i] = sk
+		vals[i] = vals[j]
+		i = j
+	}
+	keys[i] = 0
+	vals[i] = zero
+	return true
+}
+
+// ForEach visits every entry in slot order. The table must not be
+// mutated during iteration. Slot order is a pure function of the
+// operation history, so deterministic simulations iterate
+// deterministically (unlike Go's randomized map order).
+func (t *Table[V]) ForEach(fn func(k uint64, v V)) {
+	if t.n == 0 {
+		return
+	}
+	for i, sk := range t.keys {
+		if sk != 0 {
+			fn(sk-1, t.vals[i])
+		}
+	}
+}
+
+// Reset clears the table in place, keeping the backing arrays, so a
+// pooled table's steady state allocates nothing.
+func (t *Table[V]) Reset() {
+	if t.n == 0 {
+		return
+	}
+	clear(t.keys)
+	clear(t.vals) // release pointers for the GC
+	t.n = 0
+}

@@ -1,0 +1,213 @@
+package hotmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	tb := New[int](0)
+	if tb.Len() != 0 {
+		t.Fatalf("new table Len = %d", tb.Len())
+	}
+	if _, ok := tb.Get(0); ok {
+		t.Fatal("Get on empty table reported a hit")
+	}
+	tb.Put(0, 10) // zero is a valid key
+	tb.Put(7, 70)
+	tb.Put(7, 71) // replace
+	if v, ok := tb.Get(0); !ok || v != 10 {
+		t.Fatalf("Get(0) = %d, %v", v, ok)
+	}
+	if v, ok := tb.Get(7); !ok || v != 71 {
+		t.Fatalf("Get(7) = %d, %v", v, ok)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	if !tb.Delete(0) || tb.Delete(0) {
+		t.Fatal("Delete(0) did not report present-then-absent")
+	}
+	if tb.Has(0) || !tb.Has(7) {
+		t.Fatal("membership wrong after delete")
+	}
+	tb.Reset()
+	if tb.Len() != 0 || tb.Has(7) {
+		t.Fatal("Reset did not clear the table")
+	}
+}
+
+func TestUpsertPointer(t *testing.T) {
+	tb := New[int32](0)
+	p := tb.Upsert(42)
+	if *p != 0 {
+		t.Fatalf("fresh Upsert value = %d, want 0", *p)
+	}
+	*p = 5
+	*tb.Upsert(42)++
+	if v, _ := tb.Get(42); v != 6 {
+		t.Fatalf("Get after Upsert increments = %d, want 6", v)
+	}
+}
+
+func TestReservedKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Upsert(2^64-1) did not panic")
+		}
+	}()
+	New[int](0).Put(^uint64(0), 1)
+}
+
+// TestGrowthKeepsEntries drives the table through several doublings.
+func TestGrowthKeepsEntries(t *testing.T) {
+	tb := New[uint64](0)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tb.Put(i, i*3)
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tb.Get(i); !ok || v != i*3 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+// TestForEachDeterministic checks that two tables built by the same
+// operation history iterate in the same order — the property the
+// simulator's determinism contract relies on.
+func TestForEachDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		tb := New[int](4)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0, 1:
+				tb.Put(k, i)
+			case 2:
+				tb.Delete(k)
+			}
+		}
+		var order []uint64
+		tb.ForEach(func(k uint64, _ int) { order = append(order, k) })
+		return order
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("iteration lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// checkAgainstMap replays one operation sequence against both the table
+// and a plain Go map and fails on any observable divergence.
+func checkAgainstMap(t *testing.T, keys []uint64, ops []byte) {
+	t.Helper()
+	tb := New[uint64](0)
+	ref := map[uint64]uint64{}
+	for i, op := range ops {
+		k := keys[i%len(keys)]
+		v := uint64(i)
+		switch op % 4 {
+		case 0, 1:
+			tb.Put(k, v)
+			ref[k] = v
+		case 2:
+			got := tb.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%#x) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		case 3:
+			gv, gok := tb.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%#x) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		}
+		if tb.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", i, tb.Len(), len(ref))
+		}
+	}
+	// Full sweep: every entry present exactly once, nothing extra.
+	seen := map[uint64]uint64{}
+	tb.ForEach(func(k, v uint64) {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("ForEach visited %#x twice", k)
+		}
+		seen[k] = v
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("ForEach count %d, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if sv, ok := seen[k]; !ok || sv != v {
+			t.Fatalf("ForEach missing or wrong for %#x: %d,%v want %d", k, sv, ok, v)
+		}
+	}
+}
+
+// collisionKeys builds key sets engineered to pile into the same probe
+// clusters: sequential runs, keys differing only above bit 32, and keys
+// equal modulo a small power of two.
+func collisionKeys(rng *rand.Rand) []uint64 {
+	var keys []uint64
+	base := rng.Uint64() >> 1
+	for i := uint64(0); i < 32; i++ {
+		keys = append(keys, base+i)       // sequential
+		keys = append(keys, base|(i<<32)) // high-bits-only variation
+		keys = append(keys, base+(i<<4))  // stride 16: same low bits mod 16
+		keys = append(keys, i)            // tiny keys incl. zero
+	}
+	return keys
+}
+
+func TestAgainstMapCollisionHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		keys := collisionKeys(rng)
+		ops := make([]byte, 4000)
+		rng.Read(ops)
+		checkAgainstMap(t, keys, ops)
+	}
+}
+
+// FuzzAgainstMap feeds arbitrary op streams through checkAgainstMap. The
+// first 8 bytes pick the key-set seed, the rest drive insert/delete/get.
+func FuzzAgainstMap(f *testing.F) {
+	f.Add([]byte("seed0000insert-delete-iterate"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 2, 3, 0, 1, 2, 3, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		var seed int64
+		for _, b := range data[:8] {
+			seed = seed<<8 | int64(b)
+		}
+		keys := collisionKeys(rand.New(rand.NewSource(seed)))
+		checkAgainstMap(t, keys, data[8:])
+	})
+}
+
+func BenchmarkPutGetDelete(b *testing.B) {
+	tb := New[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 1023
+		tb.Put(k, uint64(i))
+		tb.Get(k ^ 511)
+		if i&7 == 7 {
+			tb.Delete(k)
+		}
+	}
+}

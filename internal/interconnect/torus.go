@@ -22,9 +22,10 @@ type Torus struct {
 	hopCycles     int
 	serialization int
 
-	// links[from][to] models each directed physical channel between
-	// neighbouring slots; allocated lazily.
-	links map[int]map[int]*bus.Bus
+	// links[from*slots+to] models each directed physical channel between
+	// neighbouring slots, stored flat: the slot count is small and fixed,
+	// so a dense array replaces two chained map lookups per hop.
+	links []bus.Bus
 
 	// Messages counts data messages routed; HopsTotal the hops they took.
 	Messages  uint64
@@ -42,7 +43,7 @@ func NewTorus(width, height, hopCycles, serializationCycles, nodes int) *Torus {
 	return &Torus{
 		width: width, height: height,
 		hopCycles: hopCycles, serialization: serializationCycles,
-		links: make(map[int]map[int]*bus.Bus),
+		links: make([]bus.Bus, width*height*width*height),
 	}
 }
 
@@ -101,17 +102,7 @@ func (t *Torus) Hops(from, to int) int {
 }
 
 func (t *Torus) link(from, to int) *bus.Bus {
-	m, ok := t.links[from]
-	if !ok {
-		m = make(map[int]*bus.Bus)
-		t.links[from] = m
-	}
-	b, ok := m[to]
-	if !ok {
-		b = &bus.Bus{}
-		m[to] = b
-	}
-	return b
+	return &t.links[from*t.width*t.height+to]
 }
 
 // Latency returns the delivery latency of one data message sent now from
@@ -123,9 +114,18 @@ func (t *Torus) Latency(now sim.Time, from, to int) sim.Time {
 	if from == to {
 		return sim.Time(t.serialization)
 	}
+	// Walk the dimension-order path inline (same steps Route materializes)
+	// so the hot path allocates no path slice.
 	cur := from
 	depart := now
-	for _, next := range t.Route(from, to) {
+	x, y := from%t.width, from/t.width
+	tx, ty := to%t.width, to/t.width
+	for x != tx || y != ty {
+		nx, ny := t.step(x, y, tx, ty)
+		nx = ((nx % t.width) + t.width) % t.width
+		ny = ((ny % t.height) + t.height) % t.height
+		next := t.slot(nx, ny)
+		x, y = nx, ny
 		t.HopsTotal++
 		l := t.link(cur, next)
 		start := l.Reserve(depart, sim.Time(t.serialization))

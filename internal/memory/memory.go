@@ -12,35 +12,50 @@ import (
 	"flexsnoop/internal/bus"
 	"flexsnoop/internal/cache"
 	"flexsnoop/internal/config"
+	"flexsnoop/internal/hotmap"
 	"flexsnoop/internal/sim"
 )
 
-// Controller is one node's memory controller.
+// Per-line flag bits (Controller.flags).
+const (
+	// memShared is the home's sticky "masterless sharers may exist" bit:
+	// set when read-only copies can survive without any global supplier
+	// (a demoted concurrent-read grant, or the eviction or downgrade of a
+	// shared-capable supplier). While set, memory must not grant
+	// Exclusive — a silent write to an E copy could leave those sharers
+	// stale. The next completed write clears it: its invalidation sweep
+	// removed every copy.
+	memShared uint8 = 1 << iota
+	// memPrefetch marks a line with a live prefetch-buffer entry; its
+	// ready time is in prefReady.
+	memPrefetch
+)
+
+// Controller is one node's memory controller. Its per-line state lives in
+// a struct-of-arrays layout (DESIGN.md §10): one open-addressed index
+// from line address to a stable slot, and parallel arrays for the
+// written-back version, the prefetch ready time and the flag bits, so the
+// read path resolves one hash instead of three map lookups.
 type Controller struct {
 	node int
 	cfg  config.MachineConfig
 
-	// versions records the last written-back data generation per line,
+	// idx maps a line homed here to its slot+1 (0 = never touched).
+	idx hotmap.Table[int32]
+	// version records the last written-back data generation per line,
 	// for coherence-value checking. Lines never written back are at
 	// generation 0.
-	versions map[cache.LineAddr]uint64
+	version []uint64
+	// prefReady is the cycle at which a prefetched line's data is ready
+	// (valid only while memPrefetch is set).
+	prefReady []sim.Time
+	flags     []uint8
 
-	// prefetch maps line -> cycle at which the prefetched data is ready.
-	prefetch      map[cache.LineAddr]sim.Time
 	prefetchOrder []cache.LineAddr // FIFO for bounded-buffer eviction
 
 	// channel models DRAM channel occupancy: accesses queue behind one
 	// another (Table 4: 10.7 GB/s DRAM bandwidth).
 	channel bus.Bus
-
-	// sharedMark is the home's sticky "masterless sharers may exist" bit
-	// per line: set when read-only copies can survive without any global
-	// supplier (a demoted concurrent-read grant, or the eviction or
-	// downgrade of a shared-capable supplier). While set, memory must
-	// not grant Exclusive — a silent write to an E copy could leave
-	// those sharers stale. The next completed write clears it: its
-	// invalidation sweep removed every copy.
-	sharedMark map[cache.LineAddr]bool
 
 	// Stats.
 	Reads         uint64
@@ -54,12 +69,28 @@ type Controller struct {
 // NewController builds the controller for one home node.
 func NewController(node int, cfg config.MachineConfig) *Controller {
 	return &Controller{
-		node:       node,
-		cfg:        cfg,
-		versions:   make(map[cache.LineAddr]uint64),
-		prefetch:   make(map[cache.LineAddr]sim.Time),
-		sharedMark: make(map[cache.LineAddr]bool),
+		node: node,
+		cfg:  cfg,
+		idx:  *hotmap.New[int32](1024),
 	}
+}
+
+// slot returns the line's slot, allocating one on first touch.
+func (c *Controller) slot(addr cache.LineAddr) int {
+	p := c.idx.Upsert(uint64(addr))
+	if *p == 0 {
+		c.version = append(c.version, 0)
+		c.prefReady = append(c.prefReady, 0)
+		c.flags = append(c.flags, 0)
+		*p = int32(len(c.version))
+	}
+	return int(*p) - 1
+}
+
+// find returns the line's slot without allocating one.
+func (c *Controller) find(addr cache.LineAddr) (int, bool) {
+	s, ok := c.idx.Get(uint64(addr))
+	return int(s) - 1, ok
 }
 
 // HomeNode returns the home node of a line under the machine's address
@@ -79,16 +110,20 @@ func (c *Controller) NotifySnoop(now sim.Time, addr cache.LineAddr) {
 	if !c.cfg.PrefetchOnSnoop {
 		return
 	}
-	if _, ok := c.prefetch[addr]; ok {
+	s := c.slot(addr)
+	if c.flags[s]&memPrefetch != 0 {
 		return // already prefetched or in flight
 	}
 	if len(c.prefetchOrder) >= c.cfg.PrefetchBufferEntries {
 		old := c.prefetchOrder[0]
 		c.prefetchOrder = c.prefetchOrder[1:]
-		delete(c.prefetch, old)
+		if os, ok := c.find(old); ok {
+			c.flags[os] &^= memPrefetch
+		}
 		c.PrefetchEvict++
 	}
-	c.prefetch[addr] = now + sim.Time(c.cfg.DRAMAccessCycles)
+	c.flags[s] |= memPrefetch
+	c.prefReady[s] = now + sim.Time(c.cfg.DRAMAccessCycles)
 	c.prefetchOrder = append(c.prefetchOrder, addr)
 	c.Prefetches++
 }
@@ -102,9 +137,12 @@ func (c *Controller) NotifySnoop(now sim.Time, addr cache.LineAddr) {
 func (c *Controller) ReadLatency(now sim.Time, addr cache.LineAddr, requester int) sim.Time {
 	c.Reads++
 	queue := c.channel.Reserve(now, sim.Time(c.cfg.DRAMOccupancyCycles)) - now
-	ready, prefetched := c.prefetch[addr]
-	if prefetched {
-		delete(c.prefetch, addr)
+	var ready sim.Time
+	prefetched := false
+	if s, ok := c.find(addr); ok && c.flags[s]&memPrefetch != 0 {
+		prefetched = true
+		ready = c.prefReady[s]
+		c.flags[s] &^= memPrefetch
 		for i, a := range c.prefetchOrder {
 			if a == addr {
 				c.prefetchOrder = append(c.prefetchOrder[:i], c.prefetchOrder[i+1:]...)
@@ -138,24 +176,36 @@ func (c *Controller) BusyCycles() uint64 { return c.channel.BusyCycles }
 
 // MarkShared sets the line's masterless-sharers bit: memory may not grant
 // Exclusive until a write's invalidation sweep clears it.
-func (c *Controller) MarkShared(addr cache.LineAddr) { c.sharedMark[addr] = true }
+func (c *Controller) MarkShared(addr cache.LineAddr) { c.flags[c.slot(addr)] |= memShared }
 
 // ClearShared clears the bit after a completed write made the writer the
 // line's only holder.
-func (c *Controller) ClearShared(addr cache.LineAddr) { delete(c.sharedMark, addr) }
+func (c *Controller) ClearShared(addr cache.LineAddr) {
+	if s, ok := c.find(addr); ok {
+		c.flags[s] &^= memShared
+	}
+}
 
 // SharedMarked reports whether masterless sharers may exist.
-func (c *Controller) SharedMarked(addr cache.LineAddr) bool { return c.sharedMark[addr] }
+func (c *Controller) SharedMarked(addr cache.LineAddr) bool {
+	s, ok := c.find(addr)
+	return ok && c.flags[s]&memShared != 0
+}
 
 // Version returns the line's last written-back data generation.
-func (c *Controller) Version(addr cache.LineAddr) uint64 { return c.versions[addr] }
+func (c *Controller) Version(addr cache.LineAddr) uint64 {
+	if s, ok := c.find(addr); ok {
+		return c.version[s]
+	}
+	return 0
+}
 
 // WriteBack records a dirty-line write-back of the given data generation.
 // Write-backs are posted (no one waits on them) but still occupy the DRAM
 // channel.
 func (c *Controller) WriteBack(addr cache.LineAddr, version uint64) {
 	c.Writes++
-	if version > c.versions[addr] {
-		c.versions[addr] = version
+	if s := c.slot(addr); version > c.version[s] {
+		c.version[s] = version
 	}
 }

@@ -12,7 +12,7 @@ import (
 // evictions silently drop entries, producing false negatives; Remove on
 // eviction/invalidation guarantees there are never false positives.
 type SubsetPredictor struct {
-	table *cache.Array
+	table *cache.TagArray
 	stats Stats
 }
 
@@ -22,24 +22,20 @@ func NewSubset(entries, assoc int) *SubsetPredictor {
 	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
 		panic(fmt.Sprintf("predictor: bad subset geometry %d entries / %d ways", entries, assoc))
 	}
-	return &SubsetPredictor{table: cache.NewArrayGeometry(entries/assoc, assoc)}
+	return &SubsetPredictor{table: cache.NewTagArray(entries/assoc, assoc)}
 }
 
-// Predict reports presence in the table.
+// Predict reports presence in the table, touching a hit to MRU.
 func (p *SubsetPredictor) Predict(addr cache.LineAddr) bool {
 	p.stats.Lookups++
-	if p.table.Contains(addr) {
-		p.table.Touch(addr)
-		return true
-	}
-	return false
+	return p.table.Access(addr)
 }
 
 // Insert records a new supplier line, possibly silently evicting an LRU
 // entry (which becomes a future false negative, never an incorrectness).
 func (p *SubsetPredictor) Insert(addr cache.LineAddr) (cache.LineAddr, bool) {
 	p.stats.Inserts++
-	p.table.Insert(addr, cache.Shared, 0) // state is irrelevant; presence only
+	p.table.Insert(addr)
 	return 0, false
 }
 
@@ -68,7 +64,7 @@ func (p *SubsetPredictor) Len() int { return p.table.Len() }
 // victim address with mustDowngrade=true: the protocol must downgrade that
 // line's supplier state in the CMP so the predictor stays exact.
 type ExactPredictor struct {
-	table *cache.Array
+	table *cache.TagArray
 	stats Stats
 }
 
@@ -77,27 +73,23 @@ func NewExact(entries, assoc int) *ExactPredictor {
 	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
 		panic(fmt.Sprintf("predictor: bad exact geometry %d entries / %d ways", entries, assoc))
 	}
-	return &ExactPredictor{table: cache.NewArrayGeometry(entries/assoc, assoc)}
+	return &ExactPredictor{table: cache.NewTagArray(entries/assoc, assoc)}
 }
 
-// Predict reports presence in the table.
+// Predict reports presence in the table, touching a hit to MRU.
 func (p *ExactPredictor) Predict(addr cache.LineAddr) bool {
 	p.stats.Lookups++
-	if p.table.Contains(addr) {
-		p.table.Touch(addr)
-		return true
-	}
-	return false
+	return p.table.Access(addr)
 }
 
 // Insert records a new supplier line. If the set was full, the evicted
 // entry's line must be downgraded by the caller.
 func (p *ExactPredictor) Insert(addr cache.LineAddr) (cache.LineAddr, bool) {
 	p.stats.Inserts++
-	victim, evicted := p.table.Insert(addr, cache.Shared, 0)
+	victim, evicted := p.table.Insert(addr)
 	if evicted {
 		p.stats.Downgrades++
-		return victim.Addr, true
+		return victim, true
 	}
 	return 0, false
 }

@@ -5,6 +5,7 @@ import (
 
 	"flexsnoop/internal/cache"
 	"flexsnoop/internal/config"
+	"flexsnoop/internal/hotmap"
 )
 
 // BloomFilter is the counting Bloom filter of Figure 5(b): the line
@@ -97,12 +98,12 @@ func (f *BloomFilter) SizeBits() int {
 // 4.3.2). It never produces false negatives.
 type SupersetPredictor struct {
 	bloom   *BloomFilter
-	exclude *cache.Array // nil when disabled
+	exclude *cache.TagArray // nil when disabled
 	stats   Stats
 
 	// tracked mirrors the true inserted multiset so Remove can be
 	// validated in tests; it holds reference counts.
-	tracked map[cache.LineAddr]int
+	tracked hotmap.Table[int32]
 }
 
 // NewSuperset builds a superset predictor. excludeEntries/excludeAssoc
@@ -110,13 +111,13 @@ type SupersetPredictor struct {
 func NewSuperset(fieldBits []uint, excludeEntries, excludeAssoc int, useExclude bool) *SupersetPredictor {
 	p := &SupersetPredictor{
 		bloom:   NewBloomFilter(fieldBits),
-		tracked: make(map[cache.LineAddr]int),
+		tracked: *hotmap.New[int32](256),
 	}
 	if useExclude {
 		if excludeEntries <= 0 || excludeAssoc <= 0 || excludeEntries%excludeAssoc != 0 {
 			panic(fmt.Sprintf("predictor: bad exclude-cache geometry %d/%d", excludeEntries, excludeAssoc))
 		}
-		p.exclude = cache.NewArrayGeometry(excludeEntries/excludeAssoc, excludeAssoc)
+		p.exclude = cache.NewTagArray(excludeEntries/excludeAssoc, excludeAssoc)
 	}
 	return p
 }
@@ -128,8 +129,7 @@ func (p *SupersetPredictor) Predict(addr cache.LineAddr) bool {
 	if !p.bloom.MayContain(addr) {
 		return false
 	}
-	if p.exclude != nil && p.exclude.Contains(addr) {
-		p.exclude.Touch(addr)
+	if p.exclude != nil && p.exclude.Access(addr) {
 		p.stats.ExcludeHits++
 		return false
 	}
@@ -142,7 +142,7 @@ func (p *SupersetPredictor) Predict(addr cache.LineAddr) bool {
 func (p *SupersetPredictor) Insert(addr cache.LineAddr) (cache.LineAddr, bool) {
 	p.stats.Inserts++
 	p.bloom.Add(addr)
-	p.tracked[addr]++
+	*p.tracked.Upsert(uint64(addr))++
 	if p.exclude != nil {
 		p.exclude.Invalidate(addr)
 	}
@@ -152,12 +152,14 @@ func (p *SupersetPredictor) Insert(addr cache.LineAddr) (cache.LineAddr, bool) {
 // Remove decrements the filter when the line leaves supplier state.
 func (p *SupersetPredictor) Remove(addr cache.LineAddr) {
 	p.stats.Removes++
-	if p.tracked[addr] == 0 {
+	c, _ := p.tracked.Get(uint64(addr))
+	if c == 0 {
 		panic("predictor: superset Remove without matching Insert")
 	}
-	p.tracked[addr]--
-	if p.tracked[addr] == 0 {
-		delete(p.tracked, addr)
+	if c > 1 {
+		p.tracked.Put(uint64(addr), c-1)
+	} else {
+		p.tracked.Delete(uint64(addr))
 	}
 	p.bloom.Del(addr)
 }
@@ -170,10 +172,10 @@ func (p *SupersetPredictor) NoteFalsePositive(addr cache.LineAddr) {
 	}
 	// Guard against a racing Insert: never exclude a genuinely tracked
 	// address, which would create a false negative.
-	if p.tracked[addr] > 0 {
+	if p.tracked.Has(uint64(addr)) {
 		return
 	}
-	p.exclude.Insert(addr, cache.Shared, 0)
+	p.exclude.Insert(addr)
 }
 
 // Kind returns config.PredictorSuperset.
@@ -183,4 +185,4 @@ func (p *SupersetPredictor) Kind() config.PredictorKind { return config.Predicto
 func (p *SupersetPredictor) Stats() Stats { return p.stats }
 
 // TrackedLen reports the number of genuinely inserted addresses (tests).
-func (p *SupersetPredictor) TrackedLen() int { return len(p.tracked) }
+func (p *SupersetPredictor) TrackedLen() int { return p.tracked.Len() }

@@ -14,6 +14,7 @@ import (
 	"flexsnoop/internal/core"
 	"flexsnoop/internal/energy"
 	"flexsnoop/internal/fault"
+	"flexsnoop/internal/hotmap"
 	"flexsnoop/internal/interconnect"
 	"flexsnoop/internal/memory"
 	"flexsnoop/internal/predictor"
@@ -43,28 +44,19 @@ type Engine struct {
 	torus *interconnect.Torus
 	meter *energy.Meter
 
-	// versions is the per-line global write-generation counter: the
-	// value each completed write stamps on the line.
-	versions map[cache.LineAddr]uint64
+	// lines holds the machine-global per-line metadata — write
+	// generations, live-write counts, and the downgraded/eager flag
+	// bits — in one struct-of-arrays table (see linetab.go).
+	lines *lineTab
 
 	txnSeq ring.TxnID
-	byID   map[ring.TxnID]*txn
-
-	// liveWrites counts in-flight (non-retired) write transactions per
-	// line: the launch-time "write already in flight" check is a single
-	// lookup here instead of a scan over byID.
-	liveWrites map[cache.LineAddr]int
+	byID   hotmap.Table[*txn]
 
 	// Cycle-batched transmit stage (see shard.go): per-ring buffered
 	// transmit intents, their total, and the optional worker pool.
 	txq     [][]txIntent
 	txTotal int
 	shard   *shardPool
-
-	// downgraded marks lines whose supplier copy the Exact predictor
-	// downgraded; the next memory read of such a line is charged to the
-	// algorithm as a "re-read" (Section 6.1.4).
-	downgraded map[cache.LineAddr]bool
 
 	stats Stats
 
@@ -87,12 +79,14 @@ type Engine struct {
 	// Fault-injection and hardening state (see fault.go). inj is nil on
 	// fault-free runs; every hot-path hook guards on that, so a disabled
 	// run stays cycle-identical. deadlineCycles is the per-attempt snoop
-	// response deadline; eagerLines holds lines the watchdog degraded to
-	// Eager forwarding; failErr latches the first unrecoverable failure.
+	// response deadline; eagerCount counts lines the watchdog degraded
+	// to Eager forwarding (their lineEager flag lives in e.lines, and a
+	// zero count keeps the fault-free fast path to one comparison);
+	// failErr latches the first unrecoverable failure.
 	inj               *fault.Injector
 	deadlineCycles    sim.Time
 	maxTimeoutRetries int
-	eagerLines        map[cache.LineAddr]bool
+	eagerCount        int
 	failErr           error
 	// linkFloor[ring][from] is the latest arrival already scheduled on a
 	// link: injected delays and stalls push subsequent traffic on the
@@ -102,7 +96,9 @@ type Engine struct {
 	linkFloor [][]sim.Time
 	// retryLines counts parked timeout retransmits per line, so the
 	// watchdog's degradation pass can see work hiding in backoff timers.
-	retryLines map[cache.LineAddr]int
+	// Nil on fault-free runs (it doubles as the "fault run" marker in
+	// retryAfter).
+	retryLines *hotmap.Table[int32]
 
 	// Free lists (see pool.go). Single-threaded, so plain slices suffice.
 	msgPool ring.Pool
@@ -132,7 +128,7 @@ func (e *Engine) SetTelemetry(c *telemetry.Collector) {
 // outstanding transactions, predictor accuracy and energy.
 func (e *Engine) TelemetrySample() telemetry.Sample {
 	s := telemetry.Sample{
-		OutstandingTxns: len(e.byID),
+		OutstandingTxns: e.byID.Len(),
 		ReadRequests:    e.stats.ReadRequests,
 		WriteRequests:   e.stats.WriteRequests,
 		SnoopOps:        e.stats.ReadSnoopOps + e.stats.WriteSnoopOps,
@@ -212,13 +208,11 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 		kern:    kern,
 		torus:   interconnect.NewTorus(m.TorusWidth, m.TorusHeight, m.TorusHopCycles, m.DataSerializationCycles, m.NumCMPs),
 		meter:   energy.NewMeter(opts.Energy),
-		// Pre-sized for steady-state footprints: maps that rehash mid-run
-		// both allocate and perturb wall time, so start them near their
-		// working-set sizes.
-		versions:   make(map[cache.LineAddr]uint64, 4096),
-		byID:       make(map[ring.TxnID]*txn, 256),
-		liveWrites: make(map[cache.LineAddr]int, 64),
-		downgraded: make(map[cache.LineAddr]bool, 64),
+		// Pre-sized for steady-state footprints: tables that rehash
+		// mid-run both allocate and perturb wall time, so start them
+		// near their working-set sizes.
+		lines: newLineTab(4096),
+		byID:  *hotmap.New[*txn](256),
 	}
 	for i := 0; i < m.NumRings; i++ {
 		e.rings = append(e.rings, ring.NewRing(m.NumCMPs, m.RingLinkCycles, ringLinkOccupancyCycles))
@@ -236,16 +230,16 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 		for i := range e.linkFloor {
 			e.linkFloor[i] = make([]sim.Time, m.NumCMPs)
 		}
-		e.retryLines = make(map[cache.LineAddr]int)
+		e.retryLines = hotmap.New[int32](64)
 	}
 	for i := 0; i < m.NumCMPs; i++ {
 		n := &node{
 			id:          i,
 			e:           e,
 			mem:         memory.NewController(i, m),
-			supplierIdx: make(map[cache.LineAddr]int, 1024),
-			outstanding: make(map[cache.LineAddr]*txn, 64),
-			ringStates:  make(map[ring.TxnID]*ringState, 64),
+			supplierIdx: *hotmap.New[int32](1024),
+			outstanding: *hotmap.New[*txn](64),
+			ringStates:  *hotmap.New[*ringState](64),
 		}
 		for c := 0; c < m.CoresPerCMP; c++ {
 			n.l1 = append(n.l1, cache.NewArray(m.L1))
@@ -258,11 +252,24 @@ func NewEngine(kern *sim.Kernel, opts Options) (*Engine, error) {
 		n.policy = pol
 		nodeID := i
 		n.pred = predictor.New(opts.Predictor, func(a cache.LineAddr) bool {
-			_, ok := e.nodes[nodeID].supplierIdx[a]
-			return ok
+			return e.nodes[nodeID].supplierIdx.Has(uint64(a))
 		})
 		if pol.Algorithm().UsesPredictor() && n.pred == nil {
 			return nil, fmt.Errorf("protocol: algorithm %v needs a predictor, got none", pol.Algorithm())
+		}
+		if n.pred != nil {
+			// One persistent prediction thunk per node: the per-request
+			// inputs ride in scratch fields (see handleReadRequest), so
+			// the hot path passes DecideRead an already-allocated
+			// closure instead of heap-allocating one per snoop.
+			nn := n
+			superset := n.pred.Kind() == predictorSupersetKind
+			n.predictFn = func() bool {
+				predicted := nn.pred.Predict(nn.predictAddr)
+				e.meter.AddPredictorLookup(superset)
+				e.stats.Accuracy.Classify(predicted, nn.predictActual)
+				return predicted
+			}
 		}
 		e.nodes = append(e.nodes, n)
 	}
@@ -288,16 +295,23 @@ type node struct {
 	// supplierIdx maps lines held in a global supplier state in this CMP
 	// to the core holding them. It is the gateway's ground truth for
 	// predictor training and accuracy classification.
-	supplierIdx map[cache.LineAddr]int
+	supplierIdx hotmap.Table[int32]
 
 	// outstanding holds the active (non-squashed) transaction per line.
-	outstanding map[cache.LineAddr]*txn
+	outstanding hotmap.Table[*txn]
 	activeTxns  int
 	issueQueue  []*txn
 
 	// ringStates tracks per-foreign-transaction message state (split
 	// request/reply bookkeeping, Table 2).
-	ringStates map[ring.TxnID]*ringState
+	ringStates hotmap.Table[*ringState]
+
+	// predictFn is the node's persistent prediction thunk for
+	// Policy.DecideRead; predictAddr/predictActual are its per-request
+	// scratch inputs, written by handleReadRequest just before the call.
+	predictFn     func() bool
+	predictAddr   cache.LineAddr
+	predictActual bool
 }
 
 // Meter exposes the energy meter.
@@ -369,29 +383,29 @@ func (e *Engine) ForEachLine(visit func(node, core int, l cache.Line)) {
 // SupplierIndexed reports whether node n's gateway index lists the line as
 // held in a supplier state (checker cross-validation).
 func (e *Engine) SupplierIndexed(n int, addr cache.LineAddr) bool {
-	_, ok := e.nodes[n].supplierIdx[addr]
-	return ok
+	return e.nodes[n].supplierIdx.Has(uint64(addr))
 }
 
 // ForEachSupplierIndex visits every (node, line) gateway supplier-index
 // entry (checker cross-validation).
 func (e *Engine) ForEachSupplierIndex(visit func(node int, addr cache.LineAddr)) {
 	for ni, n := range e.nodes {
-		for addr := range n.supplierIdx {
-			visit(ni, addr)
-		}
+		ni := ni
+		n.supplierIdx.ForEach(func(addr uint64, _ int32) {
+			visit(ni, cache.LineAddr(addr))
+		})
 	}
 }
 
 // OutstandingTxns reports the number of live transactions (drain checks).
-func (e *Engine) OutstandingTxns() int { return len(e.byID) }
+func (e *Engine) OutstandingTxns() int { return e.byID.Len() }
 
 // RingStateCount reports per-node split-message bookkeeping entries still
 // held (leak checks: must be zero once the machine drains).
 func (e *Engine) RingStateCount() int {
 	n := 0
 	for _, nd := range e.nodes {
-		n += len(nd.ringStates)
+		n += nd.ringStates.Len()
 	}
 	return n
 }
@@ -400,10 +414,11 @@ func (e *Engine) RingStateCount() int {
 func (e *Engine) DebugRingStates() []string {
 	var out []string
 	for ni, nd := range e.nodes {
-		for id, st := range nd.ringStates {
+		ni := ni
+		nd.ringStates.ForEach(func(id uint64, st *ringState) {
 			out = append(out, fmt.Sprintf("node=%d txn=%d kind=%v req=%d mode=%d outcome=%v sent=%v awaitTrail=%v pend=%v",
 				ni, id, st.dbgKind, st.dbgRequester, st.mode, st.outcomeReady, st.sentOwnReply, st.awaitingTrailingReply, st.pendingReply != nil))
-		}
+		})
 	}
 	return out
 }
@@ -411,20 +426,22 @@ func (e *Engine) DebugRingStates() []string {
 // DebugTxns describes every live transaction (diagnostics).
 func (e *Engine) DebugTxns() []string {
 	var out []string
-	for id, t := range e.byID {
+	e.byID.ForEach(func(id uint64, t *txn) {
 		out = append(out, fmt.Sprintf(
 			"txn=%d kind=%v addr=%#x node=%d core=%d age=%d needData=%v upgrade=%v found=%v dataArr=%v replyRet=%v installed=%v squashed=%v memPhase=%v retries=%d waiters=%d blocked=%d",
 			id, t.kind, t.addr, t.node, t.core, t.age, t.needData, t.upgrade,
 			t.found, t.dataArrived, t.replyReturned, t.installed, t.squashed,
 			t.memPhase, t.retries, len(t.waiters), len(t.blockedMsgs)))
-	}
+	})
 	for ni, n := range e.nodes {
 		if len(n.issueQueue) > 0 {
 			out = append(out, fmt.Sprintf("node %d issueQueue=%d activeTxns=%d", ni, len(n.issueQueue), n.activeTxns))
 		}
 	}
-	for addr, c := range e.retryLines {
-		out = append(out, fmt.Sprintf("line %#x: %d retries parked in backoff", addr, c))
+	if e.retryLines != nil {
+		e.retryLines.ForEach(func(addr uint64, c int32) {
+			out = append(out, fmt.Sprintf("line %#x: %d retries parked in backoff", addr, c))
+		})
 	}
 	return out
 }
@@ -432,12 +449,13 @@ func (e *Engine) DebugTxns() []string {
 // HasActiveTxn reports whether any transaction for the line is in flight
 // anywhere in the machine (the line may legitimately be "in limbo").
 func (e *Engine) HasActiveTxn(addr cache.LineAddr) bool {
-	for _, t := range e.byID {
+	found := false
+	e.byID.ForEach(func(_ uint64, t *txn) {
 		if t.addr == addr {
-			return true
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
 // Cores returns the per-CMP core count.
@@ -465,4 +483,4 @@ func (e *Engine) MemVersion(addr cache.LineAddr) uint64 {
 }
 
 // LatestVersion returns the newest committed write generation of a line.
-func (e *Engine) LatestVersion(addr cache.LineAddr) uint64 { return e.versions[addr] }
+func (e *Engine) LatestVersion(addr cache.LineAddr) uint64 { return e.lines.latestVersion(addr) }

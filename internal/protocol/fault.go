@@ -93,8 +93,10 @@ func (e *Engine) injectFaults(ri int, r *ring.Ring, in *txIntent) (dropped bool)
 	act := e.inj.Inspect(uint64(in.start), uint64(in.arrive), ri, in.from, r.Next(in.from))
 	if act.Drop {
 		e.stats.FaultDrops++
-		e.lineTrace(in.m.Addr, "faultDrop txn %d seg from n%d", in.m.Txn, in.from)
-		if t, ok := e.byID[in.m.Txn]; ok && !in.m.Dup {
+		if debugAddrOn {
+			e.lineTrace(in.m.Addr, "faultDrop txn %d seg from n%d", in.m.Txn, in.from)
+		}
+		if t, ok := e.byID.Get(uint64(in.m.Txn)); ok && !in.m.Dup {
 			// The link-level CRC detects the loss and NACKs the
 			// requester, which squashes and retries (Section 2.1.4
 			// machinery). The observed loss also arms a short grace
@@ -176,7 +178,7 @@ func deadlineCall(a any) {
 // are never faulted), release a completed access, or squash, scavenge and
 // retransmit with exponential backoff.
 func (e *Engine) onTxnDeadline(id ring.TxnID) {
-	t, ok := e.byID[id]
+	t, ok := e.byID.Get(uint64(id))
 	if !ok || t.retired {
 		return // completed since; the deadline is stale
 	}
@@ -194,7 +196,9 @@ func (e *Engine) onTxnDeadline(id ring.TxnID) {
 		return
 	}
 	e.stats.SnoopTimeouts++
-	e.lineTrace(t.addr, "timeout txn %d (n%d %v) retries=%d", t.id, t.node, t.kind, t.retries)
+	if debugAddrOn {
+		e.lineTrace(t.addr, "timeout txn %d (n%d %v) retries=%d", t.id, t.node, t.kind, t.retries)
+	}
 	if e.tel != nil {
 		e.tel.TxnEvent(e.now(), uint64(t.id), "timeout", t.node)
 	}
@@ -240,7 +244,7 @@ func (e *Engine) onTxnDeadline(id ring.TxnID) {
 // through statelessly and drain at the requester as byID misses.
 func (e *Engine) scavengeTxn(id ring.TxnID) {
 	for _, n := range e.nodes {
-		st, ok := n.ringStates[id]
+		st, ok := n.ringStates.Get(uint64(id))
 		if !ok {
 			continue
 		}
@@ -270,13 +274,13 @@ func (e *Engine) ScavengeOrphanStates() int {
 	var orphans []ring.TxnID
 	for _, n := range e.nodes {
 		orphans = orphans[:0]
-		for id := range n.ringStates {
-			if _, live := e.byID[id]; !live {
-				orphans = append(orphans, id)
+		n.ringStates.ForEach(func(id uint64, _ *ringState) {
+			if !e.byID.Has(id) {
+				orphans = append(orphans, ring.TxnID(id))
 			}
-		}
+		})
 		for _, id := range orphans {
-			st := n.ringStates[id]
+			st, _ := n.ringStates.Get(uint64(id))
 			if (st.mode == modeFTS || st.mode == modeSTF) && !st.outcomeReady {
 				continue
 			}
@@ -298,35 +302,30 @@ func (e *Engine) ScavengeOrphanStates() int {
 // suspected-livelocked lines while the rest of the machine keeps its
 // algorithm. Returns how many lines were newly degraded.
 func (e *Engine) DegradeLiveLines() int {
-	if e.eagerLines == nil {
-		e.eagerLines = make(map[cache.LineAddr]bool, 64)
-	}
 	added := 0
 	mark := func(addr cache.LineAddr) {
-		if !e.eagerLines[addr] {
-			e.eagerLines[addr] = true
+		if e.lines.setFlag(addr, lineEager) {
 			added++
 		}
 	}
-	for _, t := range e.byID {
-		mark(t.addr)
-	}
-	for addr := range e.retryLines {
-		mark(addr)
+	e.byID.ForEach(func(_ uint64, t *txn) { mark(t.addr) })
+	if e.retryLines != nil {
+		e.retryLines.ForEach(func(addr uint64, _ int32) { mark(cache.LineAddr(addr)) })
 	}
 	for _, n := range e.nodes {
 		for _, t := range n.issueQueue {
 			mark(t.addr)
 		}
 	}
+	e.eagerCount += added
 	e.stats.DegradedLines += uint64(added)
 	return added
 }
 
 // forcedEager reports whether the watchdog degraded this line to Eager
-// forwarding. The nil-map guard keeps fault-free runs branch-cheap.
+// forwarding. The count guard keeps fault-free runs branch-cheap.
 func (e *Engine) forcedEager(addr cache.LineAddr) bool {
-	return e.eagerLines != nil && e.eagerLines[addr]
+	return e.eagerCount > 0 && e.lines.hasFlag(addr, lineEager)
 }
 
 // CorruptLineState forcibly sets a cached line's coherence state without
@@ -340,8 +339,8 @@ func (e *Engine) CorruptLineState(node, core int, addr cache.LineAddr, st cache.
 // entry (checker negative tests for the index cross-validation rules).
 func (e *Engine) CorruptSupplierIndex(node int, addr cache.LineAddr, core int, present bool) {
 	if present {
-		e.nodes[node].supplierIdx[addr] = core
+		e.nodes[node].supplierIdx.Put(uint64(addr), int32(core))
 	} else {
-		delete(e.nodes[node].supplierIdx, addr)
+		e.nodes[node].supplierIdx.Delete(uint64(addr))
 	}
 }

@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"flexsnoop/internal/cache"
+	"flexsnoop/internal/hotmap"
+)
+
+// lineTab holds the engine's machine-global per-line metadata in a
+// struct-of-arrays layout: one open-addressed index from line address to
+// a stable slot, and parallel arrays for the fields the hot path touches
+// together (DESIGN.md §10). Slots are allocated on first touch and live
+// for the run — the population is bounded by the workload footprint — so
+// the write-generation counter, the live-write count and the per-line
+// flag bits of one line share one slot index and never rehash once the
+// working set is resident.
+type lineTab struct {
+	idx hotmap.Table[int32] // LineAddr -> slot+1 (0 = the Upsert zero value, "new")
+
+	version    []uint64 // last committed write generation
+	liveWrites []int32  // in-flight (non-retired) write transactions
+	flags      []uint8  // lineDowngraded | lineEager
+}
+
+const (
+	// lineDowngraded marks a line whose supplier copy the Exact
+	// predictor downgraded; the next memory read is charged as a
+	// "re-read" (Section 6.1.4).
+	lineDowngraded uint8 = 1 << iota
+	// lineEager marks a line the watchdog degraded to forced Eager
+	// forwarding.
+	lineEager
+)
+
+// newLineTab pre-sizes the table near the steady-state footprint so the
+// warm path neither rehashes nor re-appends.
+func newLineTab(hint int) *lineTab {
+	return &lineTab{
+		idx:        *hotmap.New[int32](hint),
+		version:    make([]uint64, 0, hint),
+		liveWrites: make([]int32, 0, hint),
+		flags:      make([]uint8, 0, hint),
+	}
+}
+
+// slot returns the line's slot, allocating one on first touch.
+func (lt *lineTab) slot(addr cache.LineAddr) int {
+	p := lt.idx.Upsert(uint64(addr))
+	if *p == 0 {
+		lt.version = append(lt.version, 0)
+		lt.liveWrites = append(lt.liveWrites, 0)
+		lt.flags = append(lt.flags, 0)
+		*p = int32(len(lt.version))
+	}
+	return int(*p) - 1
+}
+
+// find returns the line's slot without allocating one.
+func (lt *lineTab) find(addr cache.LineAddr) (int, bool) {
+	s, ok := lt.idx.Get(uint64(addr))
+	return int(s) - 1, ok
+}
+
+// nextVersion stamps and returns a new write generation for the line.
+func (lt *lineTab) nextVersion(addr cache.LineAddr) uint64 {
+	s := lt.slot(addr)
+	lt.version[s]++
+	return lt.version[s]
+}
+
+// latestVersion returns the newest committed write generation (0 when
+// the line was never written).
+func (lt *lineTab) latestVersion(addr cache.LineAddr) uint64 {
+	if s, ok := lt.find(addr); ok {
+		return lt.version[s]
+	}
+	return 0
+}
+
+// setFlag sets a per-line flag bit, reporting whether it was newly set.
+func (lt *lineTab) setFlag(addr cache.LineAddr, bit uint8) bool {
+	s := lt.slot(addr)
+	if lt.flags[s]&bit != 0 {
+		return false
+	}
+	lt.flags[s] |= bit
+	return true
+}
+
+// clearFlag clears a per-line flag bit without allocating a slot.
+func (lt *lineTab) clearFlag(addr cache.LineAddr, bit uint8) {
+	if s, ok := lt.find(addr); ok {
+		lt.flags[s] &^= bit
+	}
+}
+
+// hasFlag reports a per-line flag bit without allocating a slot.
+func (lt *lineTab) hasFlag(addr cache.LineAddr, bit uint8) bool {
+	s, ok := lt.find(addr)
+	return ok && lt.flags[s]&bit != 0
+}

@@ -32,7 +32,7 @@ func (e *Engine) Access(nodeID, coreID int, kind AccessKind, addr cache.LineAddr
 
 // access is the full reference path; it is re-entered by retries and
 // waiters (which carry their original age).
-func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
+func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []*txn, retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	if kind == ring.ReadSnoop {
 		// L1 filter: loads complete from L1.
@@ -72,7 +72,7 @@ func (e *Engine) access(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr,
 }
 
 // pathCtxFor fills a pooled access-path context.
-func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) *pathCtx {
+func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineAddr, age sim.Time, done func(), waiters []*txn, retries, timeoutRetries int) *pathCtx {
 	p := e.newPath()
 	p.e, p.node, p.core, p.kind = e, nodeID, coreID, kind
 	p.addr, p.age, p.done, p.waiters, p.retries = addr, age, done, waiters, retries
@@ -82,7 +82,7 @@ func (e *Engine) pathCtxFor(nodeID, coreID int, kind ring.Kind, addr cache.LineA
 
 // completeAfter finishes a reference after a fixed latency, waking any
 // piggy-backed waiters.
-func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []func()) {
+func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []*txn) {
 	p := e.newPath()
 	p.e, p.done, p.waiters = e, done, waiters
 	e.kern.AfterArg(delay, doneCall, p)
@@ -90,7 +90,7 @@ func (e *Engine) completeAfter(delay sim.Time, done func(), waiters []func()) {
 
 // localReadBody snoops the CMP-local caches once the intra-CMP bus grants
 // (see localPathCall) and falls back to the ring.
-func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
+func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []*txn, retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	// Re-check own L2: a waiter's earlier fill may have landed.
 	if l := n.l2[coreID].Access(addr); l != nil {
@@ -100,7 +100,7 @@ func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.
 			done()
 		}
 		for _, w := range waiters {
-			w()
+			e.restart(w)
 		}
 		return
 	}
@@ -111,7 +111,7 @@ func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.
 			done()
 		}
 		for _, w := range waiters {
-			w()
+			e.restart(w)
 		}
 		return
 	}
@@ -124,7 +124,7 @@ func (e *Engine) localReadBody(nodeID, coreID int, addr cache.LineAddr, age sim.
 
 // localWriteBody resolves store misses and upgrades once the intra-CMP
 // bus grants (see localPathCall).
-func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []func(), retries, timeoutRetries int) {
+func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim.Time, done func(), waiters []*txn, retries, timeoutRetries int) {
 	n := e.nodes[nodeID]
 	// Re-check own L2 after the bus wait.
 	if l := n.l2[coreID].Lookup(addr); l != nil && (l.State == cache.Exclusive || l.State == cache.Dirty) {
@@ -133,16 +133,16 @@ func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim
 			done()
 		}
 		for _, w := range waiters {
-			w()
+			e.restart(w)
 		}
 		return
 	}
 	// Local ownership transfer: another core in this CMP holds the
 	// machine's only copy (E or D) — no ring transaction needed.
-	if owner, ok := n.supplierIdx[addr]; ok && owner != coreID {
+	if owner, ok := n.supplierIdx.Get(uint64(addr)); ok && int(owner) != coreID {
 		st := n.l2[owner].Lookup(addr)
 		if st != nil && (st.State == cache.Exclusive || st.State == cache.Dirty) {
-			e.invalidateCoreLine(nodeID, owner, addr)
+			e.invalidateCoreLine(nodeID, int(owner), addr)
 			v := e.nextVersion(addr)
 			e.observe(nodeID, coreID, true, addr, v)
 			e.installLine(nodeID, coreID, addr, cache.Dirty, v)
@@ -150,7 +150,7 @@ func (e *Engine) localWriteBody(nodeID, coreID int, addr cache.LineAddr, age sim
 				done()
 			}
 			for _, w := range waiters {
-				w()
+				e.restart(w)
 			}
 			return
 		}
@@ -201,7 +201,9 @@ func (e *Engine) supplyLocal(nodeID, supCore, dstCore int, addr cache.LineAddr) 
 		n.l2[supCore].SetState(addr, cache.Tagged)
 	}
 	version := l.Version
-	e.lineTrace(addr, "supplyLocal n%d c%d->c%d v%d", nodeID, supCore, dstCore, version)
+	if debugAddrOn {
+		e.lineTrace(addr, "supplyLocal n%d c%d->c%d v%d", nodeID, supCore, dstCore, version)
+	}
 	e.observe(nodeID, dstCore, false, addr, version)
 	e.installLine(nodeID, dstCore, addr, cache.Shared, version)
 }
@@ -211,14 +213,16 @@ func (e *Engine) supplyLocal(nodeID, supCore, dstCore int, addr cache.LineAddr) 
 func (e *Engine) installLine(nodeID, coreID int, addr cache.LineAddr, st cache.State, version uint64) {
 	n := e.nodes[nodeID]
 	if st.GlobalSupplier() {
-		if prev, ok := n.supplierIdx[addr]; ok && prev != coreID {
+		if prev, ok := n.supplierIdx.Get(uint64(addr)); ok && int(prev) != coreID {
 			panic(fmt.Sprintf("protocol: node %d would hold two supplier copies of %#x", nodeID, addr))
 		}
-		n.supplierIdx[addr] = coreID
+		n.supplierIdx.Put(uint64(addr), int32(coreID))
 		e.trainInsert(n, addr)
-		delete(e.downgraded, addr)
+		e.lines.clearFlag(addr, lineDowngraded)
 	}
-	e.lineTrace(addr, "install n%d c%d %v v%d", nodeID, coreID, st, version)
+	if debugAddrOn {
+		e.lineTrace(addr, "install n%d c%d %v v%d", nodeID, coreID, st, version)
+	}
 	victim, evicted := n.l2[coreID].Insert(addr, st, version)
 	if evicted {
 		e.handleEviction(nodeID, coreID, victim)
@@ -237,7 +241,9 @@ func (e *Engine) performWrite(nodeID, coreID int, addr cache.LineAddr) {
 	wasSupplier := line.State.GlobalSupplier()
 	line.State = cache.Dirty
 	line.Version = e.nextVersion(addr)
-	e.lineTrace(addr, "performWrite n%d c%d v%d", nodeID, coreID, line.Version)
+	if debugAddrOn {
+		e.lineTrace(addr, "performWrite n%d c%d v%d", nodeID, coreID, line.Version)
+	}
 	e.observe(nodeID, coreID, true, addr, line.Version)
 	n.l2[coreID].Touch(addr)
 	n.l1[coreID].Insert(addr, cache.Shared, line.Version)
@@ -249,12 +255,12 @@ func (e *Engine) performWrite(nodeID, coreID int, addr cache.LineAddr) {
 		}
 	}
 	if !wasSupplier {
-		if prev, ok := n.supplierIdx[addr]; ok && prev != coreID {
+		if prev, ok := n.supplierIdx.Get(uint64(addr)); ok && int(prev) != coreID {
 			panic(fmt.Sprintf("protocol: write upgrade with foreign local supplier of %#x", addr))
 		}
-		n.supplierIdx[addr] = coreID
+		n.supplierIdx.Put(uint64(addr), int32(coreID))
 		e.trainInsert(n, addr)
-		delete(e.downgraded, addr)
+		e.lines.clearFlag(addr, lineDowngraded)
 	}
 	e.nodes[e.homeOf(addr)].mem.ClearShared(addr)
 }
@@ -266,10 +272,12 @@ func (e *Engine) invalidateCoreLine(nodeID, coreID int, addr cache.LineAddr) {
 	if _, ok := n.l2[coreID].Invalidate(addr); !ok {
 		return
 	}
-	e.lineTrace(addr, "invalidateCore n%d c%d", nodeID, coreID)
+	if debugAddrOn {
+		e.lineTrace(addr, "invalidateCore n%d c%d", nodeID, coreID)
+	}
 	n.l1[coreID].Invalidate(addr)
-	if owner, ok := n.supplierIdx[addr]; ok && owner == coreID {
-		delete(n.supplierIdx, addr)
+	if owner, ok := n.supplierIdx.Get(uint64(addr)); ok && int(owner) == coreID {
+		n.supplierIdx.Delete(uint64(addr))
 		e.trainRemove(n, addr)
 	}
 }
@@ -279,19 +287,19 @@ func (e *Engine) invalidateCoreLine(nodeID, coreID int, addr cache.LineAddr) {
 // existed.
 func (e *Engine) invalidateCMP(nodeID int, addr cache.LineAddr) (sup cache.Line, hadSupplier, hadAny bool) {
 	n := e.nodes[nodeID]
-	supCore, wasSup := n.supplierIdx[addr]
+	supCore, wasSup := n.supplierIdx.Get(uint64(addr))
 	for c := range n.l2 {
 		if l, ok := n.l2[c].Invalidate(addr); ok {
 			hadAny = true
 			n.l1[c].Invalidate(addr)
-			if wasSup && c == supCore {
+			if wasSup && c == int(supCore) {
 				sup = l
 				hadSupplier = true
 			}
 		}
 	}
 	if wasSup {
-		delete(n.supplierIdx, addr)
+		n.supplierIdx.Delete(uint64(addr))
 		e.trainRemove(n, addr)
 	}
 	return sup, hadSupplier, hadAny
@@ -302,8 +310,8 @@ func (e *Engine) invalidateCMP(nodeID int, addr cache.LineAddr) (sup cache.Line,
 func (e *Engine) handleEviction(nodeID, coreID int, victim cache.Line) {
 	n := e.nodes[nodeID]
 	n.l1[coreID].Invalidate(victim.Addr)
-	if owner, ok := n.supplierIdx[victim.Addr]; ok && owner == coreID {
-		delete(n.supplierIdx, victim.Addr)
+	if owner, ok := n.supplierIdx.Get(uint64(victim.Addr)); ok && int(owner) == coreID {
+		n.supplierIdx.Delete(uint64(victim.Addr))
 		e.trainRemove(n, victim.Addr)
 	}
 	if victim.State == cache.SharedGlobal || victim.State == cache.Tagged {
@@ -344,7 +352,7 @@ func (e *Engine) trainRemove(n *node, addr cache.LineAddr) {
 // downgradeLine demotes a supplier line to S_L because the Exact predictor
 // evicted its entry: S_G/E silently, D/T with a write-back (Section 4.3.3).
 func (e *Engine) downgradeLine(n *node, addr cache.LineAddr) {
-	coreID, ok := n.supplierIdx[addr]
+	coreID, ok := n.supplierIdx.Get(uint64(addr))
 	if !ok {
 		return // already gone (invalidated between predictor ops)
 	}
@@ -353,7 +361,9 @@ func (e *Engine) downgradeLine(n *node, addr cache.LineAddr) {
 		return
 	}
 	e.stats.Downgrades++
-	e.lineTrace(addr, "downgrade n%d c%d %v v%d", n.id, coreID, line.State, line.Version)
+	if debugAddrOn {
+		e.lineTrace(addr, "downgrade n%d c%d %v v%d", n.id, coreID, line.State, line.Version)
+	}
 	e.meter.AddDowngradeOp()
 	if line.State.DirtyData() {
 		e.nodes[e.homeOf(addr)].mem.WriteBack(addr, line.Version)
@@ -367,7 +377,7 @@ func (e *Engine) downgradeLine(n *node, addr cache.LineAddr) {
 	// home must refuse Exclusive grants until the next write sweeps.
 	e.nodes[e.homeOf(addr)].mem.MarkShared(addr)
 	n.l2[coreID].SetState(addr, cache.DowngradeTransition(line.State))
-	delete(n.supplierIdx, addr)
-	e.downgraded[addr] = true
+	n.supplierIdx.Delete(uint64(addr))
+	e.lines.setFlag(addr, lineDowngraded)
 	// The predictor entry is already evicted; no Remove needed.
 }

@@ -79,6 +79,15 @@ func memReadCall(a any) {
 	e.memReadDone(t)
 }
 
+// restartCall re-enters the access path for a woken waiter or a retried
+// transaction.
+func restartCall(a any) {
+	c := a.(*callCtx)
+	e, t := c.e, c.t
+	c.release()
+	e.restart(t)
+}
+
 // pathCtx is the argument record for the processor-side access path: the
 // L2-miss deferral, the intra-CMP bus grant, and plain completion
 // callbacks.
@@ -90,7 +99,7 @@ type pathCtx struct {
 	addr    cache.LineAddr
 	age     sim.Time
 	done    func()
-	waiters []func()
+	waiters []*txn
 	retries int
 	// timeoutRetries rides along so a timeout-driven retransmit keeps its
 	// budget across the re-entered access path (fault runs only).
@@ -116,13 +125,13 @@ func (p *pathCtx) release() {
 // waiters (completeAfter's event body).
 func doneCall(a any) {
 	p := a.(*pathCtx)
-	done, waiters := p.done, p.waiters
+	e, done, waiters := p.e, p.done, p.waiters
 	p.release()
 	if done != nil {
 		done()
 	}
 	for _, w := range waiters {
-		w()
+		e.restart(w)
 	}
 }
 

@@ -184,14 +184,12 @@ func (e *Engine) handleReadRequest(ringIdx, nodeID int, m *ring.Message) {
 		// parallel at every node, bypassing predictor and filtering.
 		decision = core.Decision{Primitive: core.ForwardThenSnoop}
 	} else if n.pred != nil {
-		_, actual := n.supplierIdx[m.Addr]
-		superset := n.pred.Kind() == predictorSupersetKind
-		decision = n.policy.DecideRead(func() bool {
-			predicted := n.pred.Predict(m.Addr)
-			e.meter.AddPredictorLookup(superset)
-			e.stats.Accuracy.Classify(predicted, actual)
-			return predicted
-		})
+		// predictFn is a persistent per-node closure (built in NewEngine)
+		// that reads these scratch fields; rebuilding it per call was the
+		// single largest allocation source on the hot path.
+		n.predictAddr = m.Addr
+		n.predictActual = n.supplierIdx.Has(uint64(m.Addr))
+		decision = n.policy.DecideRead(n.predictFn)
 	} else {
 		decision = n.policy.DecideRead(nil)
 	}
@@ -319,7 +317,7 @@ func (e *Engine) snoopOutcome(ringIdx, nodeID int, m *ring.Message, st *ringStat
 	}
 
 	if m.Kind == ring.ReadSnoop {
-		supCore, hasSup := n.supplierIdx[m.Addr]
+		supCore, hasSup := n.supplierIdx.Get(uint64(m.Addr))
 		anyCopy := false
 		for c := range n.l2 {
 			if n.l2[c].Contains(m.Addr) {
@@ -331,7 +329,9 @@ func (e *Engine) snoopOutcome(ringIdx, nodeID int, m *ring.Message, st *ringStat
 		if hasSup {
 			st.localFound = true
 			line := n.l2[supCore].Lookup(m.Addr)
-			e.lineTrace(m.Addr, "supply n%d c%d %v v%d -> txn %d (req n%d)", nodeID, supCore, line.State, line.Version, m.Txn, m.Requester)
+			if debugAddrOn {
+				e.lineTrace(m.Addr, "supply n%d c%d %v v%d -> txn %d (req n%d)", nodeID, supCore, line.State, line.Version, m.Txn, m.Requester)
+			}
 			n.l2[supCore].SetState(m.Addr, cache.SupplyTransition(line.State))
 			e.stats.CacheSupplies++
 			e.sendData(nodeID, m, line.Version, false)
@@ -342,7 +342,9 @@ func (e *Engine) snoopOutcome(ringIdx, nodeID int, m *ring.Message, st *ringStat
 		}
 	} else {
 		sup, hadSup, hadAny := e.invalidateCMP(nodeID, m.Addr)
-		e.lineTrace(m.Addr, "writeSnoop n%d txn %d (req n%d) hadSup=%v hadAny=%v", nodeID, m.Txn, m.Requester, hadSup, hadAny)
+		if debugAddrOn {
+			e.lineTrace(m.Addr, "writeSnoop n%d txn %d (req n%d) hadSup=%v hadAny=%v", nodeID, m.Txn, m.Requester, hadSup, hadAny)
+		}
 		if hadSup && (sup.State == cache.SharedGlobal || sup.State == cache.Tagged) {
 			// If this write is later squashed, its partial sweep may
 			// leave plain-S copies with no master; the completing write
@@ -474,7 +476,7 @@ func (e *Engine) dispatchReply(ringIdx, nodeID int, m *ring.Message, st *ringSta
 // handleReplyOnly processes a trailing reply component.
 func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 	n := e.nodes[nodeID]
-	st := n.ringStates[m.Txn]
+	st, _ := n.ringStates.Get(uint64(m.Txn))
 	if st == nil {
 		// This node filtered (Forward) or never saw the request: pass
 		// the reply through.
@@ -540,7 +542,7 @@ func (e *Engine) handleReplyOnly(ringIdx, nodeID int, m *ring.Message) {
 // claimant writes it back to memory while draining).
 func (e *Engine) handleCollision(ringIdx, nodeID int, m *ring.Message) (blocked bool) {
 	n := e.nodes[nodeID]
-	own, ok := n.outstanding[m.Addr]
+	own, ok := n.outstanding.Get(uint64(m.Addr))
 	if !ok || own.squashed || own.id == m.Txn {
 		return false
 	}
@@ -615,12 +617,11 @@ func (e *Engine) handleCollision(ringIdx, nodeID int, m *ring.Message) (blocked 
 // stateFor returns (creating if needed) the node's bookkeeping for a
 // transaction.
 func (n *node) stateFor(id ring.TxnID) *ringState {
-	st, ok := n.ringStates[id]
-	if !ok {
-		st = n.e.newRingState()
-		n.ringStates[id] = st
+	p := n.ringStates.Upsert(uint64(id))
+	if *p == nil {
+		*p = n.e.newRingState()
 	}
-	return st
+	return *p
 }
 
 // stateForMsg is stateFor plus debug provenance.
@@ -634,8 +635,8 @@ func (n *node) stateForMsg(m *ring.Message) *ringState {
 // dropState releases a transaction's bookkeeping back to the free list.
 // Callers must be done with the record and any messages it still holds.
 func (n *node) dropState(id ring.TxnID) {
-	if st, ok := n.ringStates[id]; ok {
-		delete(n.ringStates, id)
+	if st, ok := n.ringStates.Get(uint64(id)); ok {
+		n.ringStates.Delete(uint64(id))
 		n.e.rsPool = append(n.e.rsPool, st)
 	}
 }

@@ -56,8 +56,12 @@ type txn struct {
 	// caching would create a stale copy.
 	noInstall bool
 
-	done    func()
-	waiters []func()
+	done func()
+	// waiters are transactions parked behind this one (same line, same
+	// node); each is restarted when this transaction retires. Storing the
+	// records directly (rather than restart closures) keeps the wait path
+	// allocation-free.
+	waiters []*txn
 
 	// blockedMsgs holds colliding ring messages delayed until this
 	// write's in-limbo data is installed (see handleCollision).
@@ -89,9 +93,9 @@ func older(ageA sim.Time, nodeA int, ageB sim.Time, nodeB int) bool {
 // it behind an existing transaction / a free MSHR slot.
 func (e *Engine) issueTxn(t *txn) {
 	n := e.nodes[t.node]
-	if own := n.outstanding[t.addr]; own != nil {
+	if own, _ := n.outstanding.Get(uint64(t.addr)); own != nil {
 		// One outstanding transaction per line per node: wait for it.
-		own.waiters = append(own.waiters, func() { e.restart(t) })
+		own.waiters = append(own.waiters, t)
 		return
 	}
 	if n.activeTxns >= e.cfg.MaxTransactionsPerNode {
@@ -113,8 +117,8 @@ func (e *Engine) launch(t *txn) {
 	e.txnSeq++
 	t.id = e.txnSeq
 	t.issued = e.now()
-	e.byID[t.id] = t
-	n.outstanding[t.addr] = t
+	e.byID.Put(uint64(t.id), t)
+	n.outstanding.Put(uint64(t.addr), t)
 	n.activeTxns++
 	if e.tel != nil {
 		e.tel.TxnIssue(e.now(), uint64(t.id), t.kind.String(), uint64(t.addr), t.node, t.core, t.retries)
@@ -125,14 +129,14 @@ func (e *Engine) launch(t *txn) {
 		e.recordPerfectPrediction(t)
 		// A write already in flight for the line may have passed this
 		// node: any data this read obtains is usable once but must not
-		// be cached (see noInstall). liveWrites indexes exactly the
-		// non-retired write transactions in byID, per line.
-		if e.liveWrites[t.addr] > 0 {
+		// be cached (see noInstall). The line table's liveWrites column
+		// indexes exactly the non-retired write transactions in byID.
+		if s, ok := e.lines.find(t.addr); ok && e.lines.liveWrites[s] > 0 {
 			t.noInstall = true
 		}
 	} else {
 		e.stats.WriteRequests++
-		e.liveWrites[t.addr]++
+		e.lines.liveWrites[e.lines.slot(t.addr)]++
 	}
 
 	m := e.msgPool.Get()
@@ -151,7 +155,7 @@ func (e *Engine) recordPerfectPrediction(t *txn) {
 	nodeID := t.node
 	for i := 0; i < e.cfg.NumCMPs-1; i++ {
 		nodeID = (nodeID + 1) % e.cfg.NumCMPs
-		if _, ok := e.nodes[nodeID].supplierIdx[t.addr]; ok {
+		if e.nodes[nodeID].supplierIdx.Has(uint64(t.addr)) {
 			e.stats.PerfectAccuracy.Classify(true, true)
 			return
 		}
@@ -169,7 +173,9 @@ func (e *Engine) squashLocal(t *txn) {
 	if t.squashed {
 		return
 	}
-	e.lineTrace(t.addr, "squashLocal txn %d (n%d %v)", t.id, t.node, t.kind)
+	if debugAddrOn {
+		e.lineTrace(t.addr, "squashLocal txn %d (n%d %v)", t.id, t.node, t.kind)
+	}
 	t.squashed = true
 	e.stats.Squashes++
 	if e.tel != nil {
@@ -183,7 +189,7 @@ func (e *Engine) consumeReturn(ringIdx int, m *ring.Message) {
 	// The requester is the message's last stop either way: recycle it once
 	// its contents are folded into the transaction.
 	defer e.msgPool.Put(m)
-	t, ok := e.byID[m.Txn]
+	t, ok := e.byID.Get(uint64(m.Txn))
 	if !ok {
 		return // straggler for an already-retired transaction
 	}
@@ -349,17 +355,19 @@ func (e *Engine) retryAfter(t *txn, backoff sim.Time) {
 	e.retire(t)
 	e.stats.Retries++
 	if e.retryLines == nil {
-		e.kern.After(backoff, func() { e.restart(retry) })
+		c := e.newCall()
+		c.e, c.t = e, retry
+		e.kern.AfterArg(backoff, restartCall, c)
 		return
 	}
 	// Fault runs track parked retries per line so the watchdog's
 	// degradation pass sees work hiding in backoff timers.
-	e.retryLines[retry.addr]++
+	*e.retryLines.Upsert(uint64(retry.addr))++
 	e.kern.After(backoff, func() {
-		if c := e.retryLines[retry.addr]; c > 1 {
-			e.retryLines[retry.addr] = c - 1
+		if c, _ := e.retryLines.Get(uint64(retry.addr)); c > 1 {
+			e.retryLines.Put(uint64(retry.addr), c-1)
 		} else {
-			delete(e.retryLines, retry.addr)
+			e.retryLines.Delete(uint64(retry.addr))
 		}
 		e.restart(retry)
 	})
@@ -368,7 +376,7 @@ func (e *Engine) retryAfter(t *txn, backoff sim.Time) {
 // deliverData handles a data-transfer message (torus) arriving at the
 // requester.
 func (e *Engine) deliverData(txnID ring.TxnID, version uint64, dirty bool) {
-	t, ok := e.byID[txnID]
+	t, ok := e.byID.Get(uint64(txnID))
 	if !ok {
 		return
 	}
@@ -383,7 +391,9 @@ func (e *Engine) deliverData(txnID ring.TxnID, version uint64, dirty bool) {
 	t.dataArrived = true
 	t.dataVersion = version
 	t.dataDirty = dirty
-	e.lineTrace(t.addr, "dataArrive txn %d (n%d %v) v%d dirty=%v squashed=%v", t.id, t.node, t.kind, version, dirty, t.squashed)
+	if debugAddrOn {
+		e.lineTrace(t.addr, "dataArrive txn %d (n%d %v) v%d dirty=%v squashed=%v", t.id, t.node, t.kind, version, dirty, t.squashed)
+	}
 	if e.tel != nil {
 		e.tel.TxnEvent(e.now(), uint64(t.id), "data", t.node)
 	}
@@ -426,7 +436,9 @@ func (e *Engine) installRead(t *txn, st cache.State, version uint64) {
 		// Deliver the value once without caching: an overlapping write
 		// may already be past this node and could never invalidate a
 		// late install.
-		e.lineTrace(t.addr, "useOnce txn %d (n%d) v%d", t.id, t.node, version)
+		if debugAddrOn {
+			e.lineTrace(t.addr, "useOnce txn %d (n%d) v%d", t.id, t.node, version)
+		}
 		e.stats.UseOnceReads++
 	} else {
 		e.installLine(t.node, t.core, t.addr, st, version)
@@ -465,10 +477,10 @@ func (e *Engine) startMemoryRead(t *txn) {
 	}
 	home := e.nodes[e.homeOf(t.addr)]
 	rt := home.mem.ReadLatency(e.now(), t.addr, t.node)
-	if e.downgraded[t.addr] {
+	if s, ok := e.lines.find(t.addr); ok && e.lines.flags[s]&lineDowngraded != 0 {
 		// Re-read of a line the Exact predictor downgraded: charged to
 		// the algorithm (Section 6.1.4).
-		delete(e.downgraded, t.addr)
+		e.lines.flags[s] &^= lineDowngraded
 		e.meter.AddExtraMemAccess()
 		e.stats.DowngradeRereads++
 	}
@@ -484,7 +496,9 @@ func (e *Engine) startMemoryRead(t *txn) {
 func (e *Engine) memReadDone(t *txn) {
 	home := e.nodes[e.homeOf(t.addr)]
 	version := home.mem.Version(t.addr)
-	e.lineTrace(t.addr, "memData txn %d (n%d) v%d squashed=%v sharedGrant=%v", t.id, t.node, version, t.squashed, t.sharedGrant)
+	if debugAddrOn {
+		e.lineTrace(t.addr, "memData txn %d (n%d) v%d squashed=%v sharedGrant=%v", t.id, t.node, version, t.squashed, t.sharedGrant)
+	}
 	if t.retired {
 		return
 	}
@@ -556,21 +570,20 @@ func (e *Engine) retire(t *txn) {
 		e.tel.TxnComplete(e.now(), uint64(t.id))
 	}
 	n := e.nodes[t.node]
-	delete(e.byID, t.id)
+	e.byID.Delete(uint64(t.id))
 	if t.kind == ring.WriteSnoop {
-		if c := e.liveWrites[t.addr]; c > 1 {
-			e.liveWrites[t.addr] = c - 1
-		} else {
-			delete(e.liveWrites, t.addr)
+		if s, ok := e.lines.find(t.addr); ok && e.lines.liveWrites[s] > 0 {
+			e.lines.liveWrites[s]--
 		}
 	}
-	if n.outstanding[t.addr] == t {
-		delete(n.outstanding, t.addr)
+	if own, _ := n.outstanding.Get(uint64(t.addr)); own == t {
+		n.outstanding.Delete(uint64(t.addr))
 	}
 	n.activeTxns--
 	for _, w := range t.waiters {
-		w := w
-		e.kern.After(1, w)
+		c := e.newCall()
+		c.e, c.t = e, w
+		e.kern.AfterArg(1, restartCall, c)
 	}
 	t.waiters = nil
 	// Re-deliver blocked messages synchronously and in order: the request
@@ -580,7 +593,7 @@ func (e *Engine) retire(t *txn) {
 	blocked := t.blockedMsgs
 	t.blockedMsgs = nil
 	for _, bm := range blocked {
-		if st := n.ringStates[bm.m.Txn]; st != nil && st.mode == modeBlocked {
+		if st, _ := n.ringStates.Get(uint64(bm.m.Txn)); st != nil && st.mode == modeBlocked {
 			n.dropState(bm.m.Txn)
 		}
 	}
@@ -600,6 +613,5 @@ func (e *Engine) retire(t *txn) {
 
 // nextVersion stamps a new global write generation for the line.
 func (e *Engine) nextVersion(addr cache.LineAddr) uint64 {
-	e.versions[addr]++
-	return e.versions[addr]
+	return e.lines.nextVersion(addr)
 }

@@ -141,6 +141,7 @@ type Kernel struct {
 	// from the slot its current when maps to.
 	near     [nearSlots]slotList
 	nearOcc  [nearSlots / 64]uint64 // bitmap of (possibly dead-only) occupied near slots
+	nearCnt  [nearSlots]int32       // live events per near slot
 	over     [overSlots]slotList
 	overOcc  [overSlots / 64]uint64
 	spill    []*Event // sorted by (when, seq); spillHead is the live prefix start
@@ -246,6 +247,7 @@ func (k *Kernel) place(e *Event) {
 		i := int(e.when) & nearMask
 		k.near[i].append(e)
 		k.nearOcc[i>>6] |= 1 << (uint(i) & 63)
+		k.nearCnt[i]++
 		k.nearLive++
 	case e.when < k.overBase+wheelSpan:
 		i := int(e.when>>nearSlotBits) & overMask
@@ -341,6 +343,7 @@ func (k *Kernel) Cancel(h Handle) {
 	k.live--
 	switch {
 	case e.when < k.nearBase+nearSlots:
+		k.nearCnt[int(e.when)&nearMask]--
 		k.nearLive--
 	case e.when < k.overBase+wheelSpan:
 		k.overLive--
@@ -498,9 +501,12 @@ func (k *Kernel) peek() (Time, bool) {
 						c += Time(tz)
 						continue
 					}
-					if _, ok := k.slotNext(i); ok {
+					// The slot's cycle is c; the live counter says whether
+					// anything here still fires without walking the chain.
+					if k.nearCnt[i] > 0 {
 						return c, true
 					}
+					k.slotNext(i) // dead-only slot: reclaim and clear the bit
 					c++
 				}
 			}
@@ -543,6 +549,7 @@ func (k *Kernel) extractBatch() {
 	if keep.head == nil {
 		k.nearOcc[i>>6] &^= 1 << (uint(i) & 63)
 	}
+	k.nearCnt[i] -= int32(len(k.batch))
 	k.nearLive -= len(k.batch)
 	// Cross-level migrations (cascade, spill refill) can interleave
 	// lower-seq events behind direct appends; restore FIFO order. The
@@ -609,7 +616,13 @@ func (k *Kernel) execBatch() (cont, ran bool) {
 
 // hasLiveNow reports whether any live event remains at the current cycle.
 func (k *Kernel) hasLiveNow() bool {
-	for e := k.near[int(k.now)&nearMask].head; e != nil; e = e.next {
+	i := int(k.now) & nearMask
+	if k.nearBase <= k.now {
+		// Normal regime: the slot holds only cycle now, so the live
+		// counter answers without a chain walk.
+		return k.nearCnt[i] > 0
+	}
+	for e := k.near[i].head; e != nil; e = e.next {
 		if e.state == evScheduled && e.when == k.now {
 			return true
 		}
@@ -666,6 +679,7 @@ func (k *Kernel) popMinNow() *Event {
 	if k.near[i].head == nil {
 		k.nearOcc[i>>6] &^= 1 << (uint(i) & 63)
 	}
+	k.nearCnt[i]--
 	k.nearLive--
 	return best
 }
