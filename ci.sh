@@ -59,12 +59,21 @@ echo "== federation smoke =="
 # failover and its output must be byte-identical to the serial sweep.
 go test -run TestRingsimdFederation -count=1 ./cmd/ringsimd
 
+echo "== chaos smoke =="
+# Crash durability: a race-built daemon running with -wal and -cachedir
+# is SIGKILLed mid-sweep and restarted on the same address against the
+# same directories. The sweep must ride through on client transport
+# retries and stay byte-identical to the serial sweep; the restarted
+# daemon must replay and requeue from the journal. -race here covers the
+# test harness; the daemon itself is built with -race by the test.
+go test -race -run TestRingsimdChaosKill9 -count=1 -timeout 10m ./cmd/ringsimd
+
 echo "== bench (short) =="
 # Record this PR's benchmark numbers; cmd/bench prints comparisons
 # against every prior BENCH_*.json and fails on a >25% throughput
 # regression versus the newest one. The default suite includes the
 # matrix-subset-shard and scaling-16cmp-shard rows, so this single
 # invocation gates both serial and ShardRings throughput.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_7.json
+go run ./cmd/bench -short -maxregress 25 -out BENCH_8.json
 
 echo "CI OK"

@@ -6,9 +6,18 @@
 // Usage:
 //
 //	ringsimd [-addr 127.0.0.1:8080] [-workers N] [-queue N] [-cache N]
-//	         [-drain 30s] [-quiet]
-//	         [-coordinator] [-backends URL,URL,...]
+//	         [-drain 30s] [-quiet] [-maxbody BYTES]
+//	         [-wal DIR] [-walsync always|none] [-cachedir DIR]
+//	         [-coordinator] [-backends URL,URL,...] [-hedge 0s]
 //	         [-register http://COORDINATOR] [-heartbeat 5s]
+//
+// Durability (DESIGN.md §11): -wal journals every job state transition
+// before it is acknowledged and replays the journal on startup —
+// completed jobs resolve from the -cachedir result store, incomplete
+// jobs are requeued with their original priority and order, so a
+// restarted sweep produces byte-identical output. -cachedir persists
+// results as checksummed content-addressed files. Both default off
+// (the volatile pre-durability behavior).
 //
 // Federation (DESIGN.md §9): with -backends (static fleet) or
 // -coordinator (workers join via -register), the daemon becomes a
@@ -54,9 +63,15 @@ var (
 	cacheFlag   = flag.Int("cache", 0, "result cache entries (0 = default 256, negative disables)")
 	drainFlag   = flag.Duration("drain", 30*time.Second, "graceful-drain deadline for running jobs on shutdown")
 	quietFlag   = flag.Bool("quiet", false, "suppress per-job log lines")
+	maxBodyFlag = flag.Int64("maxbody", 0, "maximum HTTP request body bytes (0 = default 1 MiB)")
+
+	walFlag      = flag.String("wal", "", "write-ahead journal directory (empty disables crash durability)")
+	walSyncFlag  = flag.String("walsync", "always", "journal fsync policy: always (power-loss safe) or none (kill -9 safe)")
+	cacheDirFlag = flag.String("cachedir", "", "disk result-cache directory (empty keeps the cache memory-only)")
 
 	coordFlag     = flag.Bool("coordinator", false, "accept worker registrations on POST /v1/backends and dispatch across them")
 	backendsFlag  = flag.String("backends", "", "comma-separated worker base URLs to dispatch to (implies coordinator mode)")
+	hedgeFlag     = flag.Duration("hedge", 0, "coordinator hedged-dispatch delay (0 disables): re-dispatch a still-running job to a second backend after this long")
 	registerFlag  = flag.String("register", "", "coordinator base URL to register this worker with (and heartbeat)")
 	heartbeatFlag = flag.Duration("heartbeat", 5*time.Second, "registration heartbeat interval when -register is set")
 )
@@ -72,10 +87,15 @@ func main() {
 func run() error {
 	logger := log.New(os.Stderr, "ringsimd: ", log.LstdFlags)
 	cfg := service.Config{
-		Workers:       *workersFlag,
-		QueueCapacity: *queueFlag,
-		CacheEntries:  *cacheFlag,
-		Coordinator:   *coordFlag,
+		Workers:         *workersFlag,
+		QueueCapacity:   *queueFlag,
+		CacheEntries:    *cacheFlag,
+		Coordinator:     *coordFlag,
+		HedgeDelay:      *hedgeFlag,
+		WALDir:          *walFlag,
+		WALSync:         *walSyncFlag,
+		CacheDir:        *cacheDirFlag,
+		MaxRequestBytes: *maxBodyFlag,
 	}
 	for _, u := range strings.Split(*backendsFlag, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -85,7 +105,10 @@ func run() error {
 	if !*quietFlag {
 		cfg.Logf = logger.Printf
 	}
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {

@@ -143,8 +143,11 @@ func (s *Server) newRemoteBackendLocked(url string, workers int) *backend {
 		workers = defaultRemoteSlots
 	}
 	b := &backend{
-		name:    url,
-		client:  &Client{BaseURL: url, PollInterval: s.cfg.RemotePoll},
+		name: url,
+		// Transport retries are disabled: the coordinator's failover IS its
+		// retry mechanism, and it needs transport errors surfaced promptly
+		// to mark the backend unhealthy and requeue elsewhere.
+		client:  &Client{BaseURL: url, PollInterval: s.cfg.RemotePoll, MaxTransportRetries: -1},
 		slots:   workers,
 		healthy: true,
 	}
@@ -166,6 +169,23 @@ func (s *Server) pickLocked() *backend {
 	var bestLoad float64
 	for _, b := range s.backends {
 		if !b.healthy || b.slots <= 0 || b.inflight >= b.slots {
+			continue
+		}
+		load := float64(b.inflight) / float64(b.slots)
+		if best == nil || load < bestLoad {
+			best, bestLoad = b, load
+		}
+	}
+	return best
+}
+
+// pickHedgeLocked is pickLocked excluding the primary backend: a hedge
+// on the same substrate would only duplicate the same failure domain.
+func (s *Server) pickHedgeLocked(primary *backend) *backend {
+	var best *backend
+	var bestLoad float64
+	for _, b := range s.backends {
+		if b == primary || !b.healthy || b.slots <= 0 || b.inflight >= b.slots {
 			continue
 		}
 		load := float64(b.inflight) / float64(b.slots)
@@ -213,23 +233,25 @@ func transient(err error) bool {
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
-// runRemote executes ex on a remote backend: submit (with backpressure
-// backoff), wait for a terminal state, translate it back into the local
-// execution's terms. ex.ctx cancellation is propagated: the poll loop
-// stops immediately and the remote job is cancelled best-effort so the
-// worker's slot frees promptly.
-func (s *Server) runRemote(b *backend, ex *execution) (flexsnoop.Result, error) {
+// runRemote executes one attempt of ex on a remote backend: submit
+// (with backpressure backoff), wait for a terminal state, translate it
+// back into the local execution's terms. ctx is the attempt's context —
+// the execution's own for the primary, a private one for a hedge — and
+// its cancellation is propagated: the poll loop stops immediately and
+// the remote job is cancelled best-effort so the worker's slot frees
+// promptly.
+func (s *Server) runRemote(b *backend, ex *execution, ctx context.Context) (flexsnoop.Result, error) {
 	spec := ex.spec
 	spec.Version = SpecVersion
-	st, err := b.client.submitBackoff(ex.ctx, spec)
+	st, err := b.client.submitBackoff(ctx, spec)
 	if err != nil {
 		return flexsnoop.Result{}, err
 	}
 	switch st.State {
 	case StateQueued, StateRunning:
-		st, err = b.client.Wait(ex.ctx, st.ID)
+		st, err = b.client.Wait(ctx, st.ID)
 		if err != nil {
-			if ex.ctx.Err() != nil {
+			if ctx.Err() != nil {
 				// Our side cancelled (job cancel or drain): release the
 				// worker's slot best-effort, then report the cancellation.
 				cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -247,7 +269,7 @@ func (s *Server) runRemote(b *backend, ex *execution) (flexsnoop.Result, error) 
 		}
 		return *st.Result, nil
 	case StateCanceled:
-		if ex.ctx.Err() != nil {
+		if ctx.Err() != nil {
 			return flexsnoop.Result{}, context.Canceled
 		}
 		// The worker cancelled it (drain): not this job's fault.

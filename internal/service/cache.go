@@ -12,11 +12,18 @@ import (
 // fingerprint is bit-identical — serving a cached Result is exactly
 // equivalent to running the job again.
 //
+// With a disk tier (Config.CacheDir), the memory LRU fronts a
+// persistent, checksum-verified store: a memory miss falls through to
+// disk, a disk hit is promoted back into memory, and every Put is
+// written through — so results survive a crash and an LRU eviction is
+// only ever a demotion, never a loss.
+//
 // The cache is not self-synchronising; the Server's mutex guards it.
 type resultCache struct {
 	capacity int
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
+	disk     *diskCache // nil without Config.CacheDir
 	hits     uint64
 	misses   uint64
 }
@@ -26,18 +33,28 @@ type cacheEntry struct {
 	result flexsnoop.Result
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, disk *diskCache) *resultCache {
 	return &resultCache{
 		capacity: capacity,
 		entries:  make(map[string]*list.Element),
 		order:    list.New(),
+		disk:     disk,
 	}
 }
 
 // Get returns the cached result for a fingerprint and counts the lookup.
+// A memory miss falls through to the disk tier; a verified disk hit is
+// promoted into the memory LRU.
 func (c *resultCache) Get(fp string) (flexsnoop.Result, bool) {
 	el, ok := c.entries[fp]
 	if !ok {
+		if c.disk != nil {
+			if res, ok := c.disk.Get(fp); ok {
+				c.hits++
+				c.putMemory(fp, res)
+				return res, true
+			}
+		}
 		c.misses++
 		return flexsnoop.Result{}, false
 	}
@@ -46,8 +63,20 @@ func (c *resultCache) Get(fp string) (flexsnoop.Result, bool) {
 	return el.Value.(*cacheEntry).result, true
 }
 
-// Put stores a completed result, evicting the LRU entry beyond capacity.
-func (c *resultCache) Put(fp string, res flexsnoop.Result) {
+// Put stores a completed result, writing through to the disk tier and
+// evicting the memory LRU entry beyond capacity. The disk write error
+// (if any) is returned so the caller can log it; the memory tier is
+// updated regardless.
+func (c *resultCache) Put(fp string, res flexsnoop.Result) error {
+	var err error
+	if c.disk != nil {
+		err = c.disk.Put(fp, res)
+	}
+	c.putMemory(fp, res)
+	return err
+}
+
+func (c *resultCache) putMemory(fp string, res flexsnoop.Result) {
 	if c.capacity <= 0 {
 		return
 	}

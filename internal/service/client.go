@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,7 +24,19 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Wait's status polls (default 50ms).
 	PollInterval time.Duration
+	// MaxTransportRetries bounds per-call retries of transient transport
+	// errors — connection refused or reset, an unexpected EOF, a dropped
+	// proxy — on a capped exponential schedule (see retrySchedule).
+	// Zero means the default (10); -1 disables transport retries. HTTP
+	// responses are never retried here: a 4xx or a reported simulation
+	// failure is permanent, and 429 backpressure has its own loop in
+	// submitBackoff. The coordinator's per-backend clients run with -1 so
+	// a dead worker surfaces immediately and failover — the coordinator's
+	// own retry mechanism — takes over.
+	MaxTransportRetries int
 }
+
+const defaultTransportRetries = 10
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -92,11 +105,83 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit submits a job once. A full queue comes back as a *remoteError
-// with StatusCode 429; SubmitWait retries that case.
+// transportRetries resolves the MaxTransportRetries knob.
+func (c *Client) transportRetries() int {
+	switch {
+	case c.MaxTransportRetries < 0:
+		return 0
+	case c.MaxTransportRetries == 0:
+		return defaultTransportRetries
+	default:
+		return c.MaxTransportRetries
+	}
+}
+
+// transientTransport reports whether an error is a transport-level
+// failure worth retrying against the same server: the request may never
+// have arrived (refused, reset) or the response was cut off (EOF). Any
+// HTTP response the server actually produced — including 5xx — is a
+// *remoteError and is not retried here, and a cancelled or expired
+// context is the caller's decision, not a network fault.
+func transientTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// retrySchedule is the wait before transport-retry attempt n (1-based):
+// base, doubling per attempt, capped. Pure, so the schedule itself is
+// unit-testable.
+func retrySchedule(attempt int, base, limit time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if limit <= 0 {
+		limit = time.Second
+	}
+	wait := base
+	for i := 1; i < attempt; i++ {
+		wait *= 2
+		if wait >= limit {
+			return limit
+		}
+	}
+	if wait > limit {
+		return limit
+	}
+	return wait
+}
+
+// doRetry is do with transport-error retries. Retrying a submit is safe
+// even if the lost response had actually been processed: submissions are
+// deduplicated by fingerprint server-side, so the retry lands on the
+// same execution.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	budget := c.transportRetries()
+	for attempt := 0; ; attempt++ {
+		err := c.do(ctx, method, path, body, out)
+		if !transientTransport(err) || attempt >= budget {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(retrySchedule(attempt+1, c.poll(), time.Second)):
+		}
+	}
+}
+
+// Submit submits a job once (modulo transport retries). A full queue
+// comes back as a *remoteError with StatusCode 429; SubmitWait retries
+// that case.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
 }
 
@@ -146,17 +231,19 @@ func (c *Client) submitBackoff(ctx context.Context, spec JobSpec) (JobStatus, er
 	}
 }
 
-// Status fetches one job's status.
+// Status fetches one job's status (with transport retries: a status
+// poll is idempotent).
 func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 
-// Cancel cancels one job.
+// Cancel cancels one job (with transport retries: cancellation is
+// idempotent).
 func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.doRetry(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
 	return st, err
 }
 

@@ -15,7 +15,7 @@ import (
 // newWorker starts a worker server and returns it with its base URL.
 func newWorker(t *testing.T, workers int) (*Server, string) {
 	t.Helper()
-	s := New(Config{Workers: workers})
+	s := mustNew(t, Config{Workers: workers})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	return s, ts.URL
@@ -58,7 +58,7 @@ func TestFederationMatchesInProcess(t *testing.T) {
 
 	_, w1 := newWorker(t, 2)
 	_, w2 := newWorker(t, 2)
-	coord := New(coordCfg(w1, w2))
+	coord := mustNew(t, coordCfg(w1, w2))
 	defer coord.Close()
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
@@ -128,7 +128,7 @@ func TestFederationFailover(t *testing.T) {
 	_, live := newWorker(t, 2)
 	// The dead backend is listed first: the first dispatch deterministically
 	// picks it (least-loaded ties go to the earlier backend) and fails over.
-	coord := New(coordCfg(deadURL, live))
+	coord := mustNew(t, coordCfg(deadURL, live))
 	defer coord.Close()
 
 	st, err := coord.Submit(smallSpec(500))
@@ -179,7 +179,7 @@ func TestFederationAllBackendsDead(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	coord := New(coordCfg(deadURL))
+	coord := mustNew(t, coordCfg(deadURL))
 	defer coord.Close()
 
 	st, err := coord.Submit(smallSpec(600))
@@ -204,7 +204,7 @@ func TestFederationAllBackendsDead(t *testing.T) {
 func TestFederationRegistration(t *testing.T) {
 	worker, workerURL := newWorker(t, 2)
 
-	coord := New(Config{Workers: -1, Coordinator: true, RemotePoll: 2 * time.Millisecond})
+	coord := mustNew(t, Config{Workers: -1, Coordinator: true, RemotePoll: 2 * time.Millisecond})
 	defer coord.Close()
 	ts := httptest.NewServer(coord.Handler())
 	defer ts.Close()
@@ -260,7 +260,7 @@ func TestFederationRegistration(t *testing.T) {
 func TestFederationProbeRecovery(t *testing.T) {
 	worker, workerURL := newWorker(t, 2)
 
-	coord := New(coordCfg(workerURL))
+	coord := mustNew(t, coordCfg(workerURL))
 	defer coord.Close()
 
 	// Knock the backend unhealthy by hand (as a failed dispatch would).
@@ -299,7 +299,7 @@ func TestFederationProbeRecovery(t *testing.T) {
 // refused with ErrSpecVersion (HTTP 400), never silently misread;
 // version 0 (field absent on the wire) means version 1 and is accepted.
 func TestSpecVersionRejected(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 
 	bad := smallSpec(900)

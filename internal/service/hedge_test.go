@@ -1,0 +1,132 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"flexsnoop"
+)
+
+// hedgeSpec is slow enough that the 1ms hedge timer reliably fires while
+// the primary attempt is still running (a run is hundreds of
+// milliseconds), yet small enough to finish promptly under -race on a
+// loaded host.
+func hedgeSpec(seed int64) JobSpec {
+	return JobSpec{
+		Algorithm: "Subset",
+		Workload:  "fft",
+		Options:   SpecOptions{OpsPerCore: 5000, Seed: seed, Predictor: "Sub2k"},
+	}
+}
+
+// TestHedgedDispatch: a coordinator with a tiny hedge delay re-dispatches
+// a running job to a second backend; the job completes with the correct
+// (bit-identical) result, the hedge is counted, and the two attempts
+// agree — zero mismatches.
+func TestHedgedDispatch(t *testing.T) {
+	spec := hedgeSpec(11)
+	fj, err := spec.Job()
+	if err != nil {
+		t.Fatalf("spec.Job: %v", err)
+	}
+	want, err := flexsnoop.RunJob(fj)
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+
+	_, w1 := newWorker(t, 1)
+	_, w2 := newWorker(t, 1)
+	cfg := coordCfg(w1, w2)
+	cfg.HedgeDelay = time.Millisecond
+	coord := mustNew(t, cfg)
+	defer coord.Close()
+
+	st, err := coord.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitState(t, coord, st.ID, StateDone)
+	if !reflect.DeepEqual(*got.Result, want) {
+		t.Errorf("hedged result differs from in-process run")
+	}
+
+	// The losing attempt runs to completion for verification; give it a
+	// moment to settle before reading the counters.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		stats := coord.Stats()
+		if stats.Hedges >= 1 && stats.Backends[0].Inflight == 0 && stats.Backends[1].Inflight == 0 {
+			if stats.HedgeMismatches != 0 {
+				t.Errorf("HedgeMismatches = %d on a deterministic fleet, want 0", stats.HedgeMismatches)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hedge never settled: %+v", stats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHedgeMismatchDetected: a backend that returns a wrong result is
+// caught. A stub "backend" answers every submission instantly with a
+// doctored Result; the local pool runs the job for real. The stub's
+// hedge settles first and wins, and when the honest local attempt
+// completes, the divergence is flagged as an integrity error.
+func TestHedgeMismatchDetected(t *testing.T) {
+	bogus := flexsnoop.Result{Cycles: 1} // no real run produces this
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/jobs" && r.Method == http.MethodPost:
+			res := bogus
+			writeJSON(w, http.StatusOK, JobStatus{
+				ID: "stub-1", State: StateDone, Result: &res,
+			})
+		case r.URL.Path == "/readyz":
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		case r.URL.Path == "/statsz":
+			writeJSON(w, http.StatusOK, Stats{Workers: 2})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer stub.Close()
+
+	cfg := Config{
+		Workers:        1, // the honest primary: local, index 0, wins the tie
+		Backends:       []string{stub.URL},
+		RemotePoll:     2 * time.Millisecond,
+		HealthInterval: 50 * time.Millisecond,
+		HedgeDelay:     time.Millisecond,
+	}
+	coord := mustNew(t, cfg)
+	defer coord.Close()
+
+	st, err := coord.Submit(hedgeSpec(12))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// The stub's instant (wrong) answer wins the race...
+	got := waitTerminal(t, coord, st.ID)
+	if got.State != StateDone || got.Result.Cycles != 1 {
+		t.Fatalf("stub result did not win: state %q", got.State)
+	}
+	// ...and the honest local run exposes it when it completes.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		stats := coord.Stats()
+		if stats.HedgeMismatches == 1 {
+			if stats.Hedges != 1 || stats.HedgeWins != 1 {
+				t.Errorf("Hedges/HedgeWins = %d/%d, want 1/1", stats.Hedges, stats.HedgeWins)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mismatch never detected: %+v", stats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -44,6 +44,13 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
+		if !s.Ready() {
+			// Journal replay still reconstructing the queue: don't route
+			// jobs here yet (the server would accept them, but recovery
+			// ordering guarantees are only meaningful once replay is done).
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
@@ -69,12 +76,28 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// decodeBody decodes a JSON request body into v with the request-size
+// cap applied and unknown fields rejected. The status code distinguishes
+// an oversized body (413) from a malformed one (400).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+		}
+		return http.StatusBadRequest, err
+	}
+	return 0, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+	if code, err := s.decodeBody(w, r, &spec); err != nil {
+		writeError(w, code, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
 	st, err := s.Submit(spec)
@@ -86,6 +109,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	default:
 		writeError(w, http.StatusBadRequest, err)
@@ -100,10 +126,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var reg BackendRegistration
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&reg); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+	if code, err := s.decodeBody(w, r, &reg); err != nil {
+		writeError(w, code, fmt.Errorf("decoding registration: %w", err))
 		return
 	}
 	switch err := s.RegisterBackend(reg); {
@@ -127,11 +151,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Cancel(r.PathValue("id"))
-	if err != nil {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, ErrDurability):
+		writeError(w, http.StatusInternalServerError, err)
+	default:
 		writeError(w, http.StatusNotFound, err)
-		return
 	}
-	writeJSON(w, http.StatusOK, st)
 }
 
 // handleMetrics streams a job's interval telemetry as NDJSON: one

@@ -1,0 +1,303 @@
+package service
+
+import (
+	"encoding/json"
+	"flexsnoop"
+	"flexsnoop/internal/journal"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file tests crash recovery at the package level: journals are
+// crafted (or left behind by a real server) and a fresh Server is opened
+// on them. The process-level kill -9 path is covered by the chaos smoke
+// test in cmd/ringsimd.
+
+// durableCfg is a single-worker server with both durability tiers on.
+func durableCfg(t *testing.T) Config {
+	t.Helper()
+	dir := t.TempDir()
+	return Config{
+		Workers:  1,
+		WALDir:   filepath.Join(dir, "wal"),
+		CacheDir: filepath.Join(dir, "cache"),
+	}
+}
+
+// TestRecoveryRestoresDoneJobs: jobs completed before a restart are
+// still queryable after it, answered from the disk cache with
+// bit-identical results.
+func TestRecoveryRestoresDoneJobs(t *testing.T) {
+	cfg := durableCfg(t)
+	s1 := mustNew(t, cfg)
+	var ids []string
+	var want []flexsnoop.Result
+	for seed := int64(1); seed <= 3; seed++ {
+		st, err := s1.Submit(smallSpec(seed))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		want = append(want, *waitState(t, s1, id, StateDone).Result)
+	}
+	s1.Close()
+
+	s2 := mustNew(t, cfg)
+	defer s2.Close()
+	if !s2.Ready() {
+		t.Fatal("server not ready after replay")
+	}
+	for i, id := range ids {
+		st, err := s2.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s) after restart: %v", id, err)
+		}
+		if st.State != StateDone || st.Result == nil {
+			t.Fatalf("job %s after restart: state %q, result %v", id, st.State, st.Result)
+		}
+		if !reflect.DeepEqual(*st.Result, want[i]) {
+			t.Errorf("job %s result changed across restart", id)
+		}
+	}
+	stats := s2.Stats()
+	if stats.WALReplayed != 3 {
+		t.Errorf("WALReplayed = %d, want 3", stats.WALReplayed)
+	}
+	if stats.WALRequeued != 0 {
+		t.Errorf("WALRequeued = %d, want 0 (all jobs were done)", stats.WALRequeued)
+	}
+	// A new submission must not collide with replayed IDs.
+	st, err := s2.Submit(smallSpec(99))
+	if err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if st.ID != "j-000004" {
+		t.Errorf("post-restart job ID = %s, want j-000004", st.ID)
+	}
+}
+
+// TestRecoveryRequeuesIncomplete simulates a kill -9: a journal with
+// submitted (and one started) records but no completions. The restarted
+// server requeues everything, preserving priority order and the
+// original job IDs, and runs the jobs to completion.
+func TestRecoveryRequeuesIncomplete(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	j, _, err := journal.Open(journal.Options{Dir: walDir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	specs := map[uint64]JobSpec{1: smallSpec(10), 2: smallSpec(20), 3: smallSpec(30)}
+	prios := map[uint64]int{1: 5, 2: 0, 3: 9}
+	fps := map[uint64]string{}
+	for seq := uint64(1); seq <= 3; seq++ {
+		spec := specs[seq]
+		spec.Priority = prios[seq]
+		fj, err := spec.Job()
+		if err != nil {
+			t.Fatalf("spec.Job: %v", err)
+		}
+		fps[seq] = fj.Fingerprint()
+		raw, _ := json.Marshal(spec)
+		if err := j.Append(journal.Record{
+			Kind: journal.KindSubmitted, JobID: jobID(seq), Seq: seq,
+			Fingerprint: fps[seq], Priority: spec.Priority, Spec: raw,
+		}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// One was mid-run when the "crash" hit: requeued all the same.
+	if err := j.Append(journal.Record{Kind: journal.KindStarted, Seq: 1, Fingerprint: fps[1]}); err != nil {
+		t.Fatalf("Append started: %v", err)
+	}
+	j.Close()
+
+	var mu sync.Mutex
+	var dispatched []string
+	s := mustNew(t, Config{Workers: 1, WALDir: walDir, Logf: func(format string, args ...any) {
+		if strings.HasPrefix(format, "job run ") {
+			mu.Lock()
+			dispatched = append(dispatched, args[2].(string)) // shortFP
+			mu.Unlock()
+		}
+	}})
+	defer s.Close()
+	if got := s.Stats().WALRequeued; got != 3 {
+		t.Fatalf("WALRequeued = %d, want 3", got)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		st := waitState(t, s, jobID(seq), StateDone)
+		if st.Fingerprint != fps[seq] {
+			t.Errorf("job %s fingerprint changed across recovery", jobID(seq))
+		}
+	}
+	// A single worker dispatches strictly in priority order: 9, 5, 0.
+	wantOrder := []string{shortFP(fps[3]), shortFP(fps[1]), shortFP(fps[2])}
+	mu.Lock()
+	got := append([]string(nil), dispatched...)
+	mu.Unlock()
+	if !reflect.DeepEqual(got, wantOrder) {
+		t.Errorf("dispatch order %v, want %v (priority then seq)", got, wantOrder)
+	}
+}
+
+func jobID(seq uint64) string { return fmt.Sprintf("j-%06d", seq) }
+
+// TestRecoveryCancelledStaysCancelled: a journaled cancellation is not
+// resurrected — the job replays as canceled and nothing is queued, even
+// though its submitted record carries a runnable spec.
+func TestRecoveryCancelledStaysCancelled(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	j, _, err := journal.Open(journal.Options{Dir: walDir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	spec := smallSpec(42)
+	fj, _ := spec.Job()
+	raw, _ := json.Marshal(spec)
+	must := func(rec journal.Record) {
+		t.Helper()
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	must(journal.Record{Kind: journal.KindSubmitted, JobID: "j-000001", Seq: 1,
+		Fingerprint: fj.Fingerprint(), Spec: raw})
+	must(journal.Record{Kind: journal.KindCancelled, JobID: "j-000001", Seq: 1,
+		Fingerprint: fj.Fingerprint()})
+	j.Close()
+
+	s := mustNew(t, Config{Workers: 1, WALDir: walDir})
+	defer s.Close()
+	st, err := s.Status("j-000001")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("replayed state = %q, want canceled", st.State)
+	}
+	if depth := s.Stats().QueueDepth; depth != 0 {
+		t.Errorf("queue depth %d after replaying a cancelled job, want 0", depth)
+	}
+	if got := s.Stats().RunsCompleted; got != 0 {
+		t.Errorf("cancelled job ran anyway (%d completions)", got)
+	}
+}
+
+// TestRecoveryTornTailAndDoubleRestart: a torn final record (the one
+// write that can legitimately be lost) does not poison recovery, and a
+// second restart replays the same state as the first — replay and
+// post-replay compaction are idempotent.
+func TestRecoveryTornTailAndDoubleRestart(t *testing.T) {
+	cfg := durableCfg(t)
+	s1 := mustNew(t, cfg)
+	st, err := s1.Submit(smallSpec(5))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want := *waitState(t, s1, st.ID, StateDone).Result
+	s1.Close()
+
+	// Tear the journal tail: a half-written record from the "crash".
+	segs, err := filepath.Glob(filepath.Join(cfg.WALDir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("000000a0 deadbeef {\"kind\":\"subm"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for restart := 1; restart <= 2; restart++ {
+		s := mustNew(t, cfg)
+		got, err := s.Status(st.ID)
+		if err != nil {
+			t.Fatalf("restart %d: Status: %v", restart, err)
+		}
+		if got.State != StateDone || got.Result == nil || !reflect.DeepEqual(*got.Result, want) {
+			t.Fatalf("restart %d: job not restored intact (state %q)", restart, got.State)
+		}
+		s.Close()
+	}
+}
+
+// TestRecoveryDiskCacheFlippedByte: a done job whose cached result file
+// was corrupted (one flipped payload byte) is never served corrupt — the
+// entry fails its checksum, is deleted, and the job is deterministically
+// re-run to the identical result.
+func TestRecoveryDiskCacheFlippedByte(t *testing.T) {
+	cfg := durableCfg(t)
+	s1 := mustNew(t, cfg)
+	spec := smallSpec(8)
+	st, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want := *waitState(t, s1, st.ID, StateDone).Result
+	s1.Close()
+
+	entries, err := filepath.Glob(filepath.Join(cfg.CacheDir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries: %v, %v", entries, err)
+	}
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x01 // flip one payload byte; the header stays intact
+	if err := os.WriteFile(entries[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, cfg)
+	defer s2.Close()
+	// Replay found the done record but the cached result failed its
+	// checksum: the job must have been requeued, not served corrupt.
+	got := waitState(t, s2, st.ID, StateDone)
+	if !reflect.DeepEqual(*got.Result, want) {
+		t.Errorf("re-run after corruption is not bit-identical")
+	}
+	stats := s2.Stats()
+	if stats.DiskCacheCorrupt != 1 {
+		t.Errorf("DiskCacheCorrupt = %d, want 1", stats.DiskCacheCorrupt)
+	}
+	if stats.WALRequeued != 1 {
+		t.Errorf("WALRequeued = %d, want 1 (corrupt cache forces a re-run)", stats.WALRequeued)
+	}
+}
+
+// TestRecoveryEmptyWAL: a fresh (or empty) journal directory is a clean
+// cold start.
+func TestRecoveryEmptyWAL(t *testing.T) {
+	cfg := durableCfg(t)
+	s := mustNew(t, cfg)
+	if !s.Ready() {
+		t.Fatal("not ready on an empty journal")
+	}
+	st, err := s.Submit(smallSpec(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, s, st.ID, StateDone)
+	s.Close()
+
+	// And reopening the now non-empty dir with zero live jobs works too.
+	s2 := mustNew(t, cfg)
+	defer s2.Close()
+	if got := s2.Stats().WALReplayed; got != 1 {
+		t.Errorf("WALReplayed = %d, want 1", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"flexsnoop"
+	"flexsnoop/internal/journal"
 )
 
 // Job lifecycle states, as reported by the API.
@@ -47,6 +49,10 @@ var (
 	ErrDraining = errors.New("service: server draining")
 	// ErrUnknownJob: no job with that ID (HTTP 404).
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrDurability: the write-ahead journal refused an append, so the
+	// state transition cannot be acknowledged (HTTP 500). The job state
+	// is unchanged.
+	ErrDurability = errors.New("service: write-ahead journal append failed")
 )
 
 // Config sizes a Server. The zero value gets sensible defaults.
@@ -89,6 +95,40 @@ type Config struct {
 	// backends (default 20ms).
 	RemotePoll time.Duration
 
+	// HedgeDelay enables hedged dispatch on a coordinator: an execution
+	// still running on one backend this long after dispatch is
+	// speculatively re-dispatched to a second healthy backend. The first
+	// result wins; because the simulator is deterministic the two results
+	// must be bit-identical, so a disagreement is surfaced as a hard
+	// integrity error in /statsz (HedgeMismatches) and the log. Zero
+	// disables hedging.
+	HedgeDelay time.Duration
+
+	// WALDir enables the crash journal: every job state transition is
+	// appended (and, under WALSync "always", fsynced) before it is
+	// acknowledged, and on startup the journal is replayed — completed
+	// jobs resolve from the disk cache, incomplete jobs are requeued with
+	// their original priority and admission sequence. Empty disables
+	// journaling (the pre-durability volatile behavior).
+	WALDir string
+	// WALSync is the journal fsync policy: "always" (default; survives
+	// power loss) or "none" (survives kill -9 but defers flushing to the
+	// OS). See journal.SyncPolicy.
+	WALSync string
+	// WALSegmentBytes overrides the journal segment rotation size
+	// (default 4 MiB; tests shrink it).
+	WALSegmentBytes int64
+	// CacheDir enables the disk tier of the result cache:
+	// content-addressed files keyed by fingerprint with an embedded
+	// sha256 verified on every read. A corrupt or truncated entry is a
+	// miss (and is deleted), never served. Empty keeps the cache
+	// memory-only.
+	CacheDir string
+
+	// MaxRequestBytes bounds HTTP request bodies (job specs, backend
+	// registrations); beyond it submission fails with 413 (default 1 MiB).
+	MaxRequestBytes int64
+
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
@@ -120,6 +160,9 @@ func (c Config) withDefaults() Config {
 	if c.FinishedJobRetention <= 0 {
 		c.FinishedJobRetention = 1024
 	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
 	return c
 }
 
@@ -141,6 +184,7 @@ type execution struct {
 	jobs     []*job
 	live     int // attached jobs not individually cancelled
 	attempts int // failed dispatches so far (federation failover)
+	running  int // attempts currently in flight (>1 only while hedged)
 	lastErr  error
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -148,13 +192,17 @@ type execution struct {
 	done     chan struct{}
 	result   flexsnoop.Result
 	err      error
+
+	hedged bool // a speculative second dispatch was launched
 }
 
-// job is one submission. A cache hit produces a job with no execution.
+// job is one submission. A cache hit produces a job with no execution,
+// as does a job recovered from the journal in a terminal state.
 type job struct {
 	id       string
+	seq      uint64
 	fp       string
-	exec     *execution // nil iff served from cache
+	exec     *execution // nil iff served from cache or recovered terminal
 	cached   bool
 	canceled bool
 	result   flexsnoop.Result // cached result (exec == nil only)
@@ -210,18 +258,33 @@ type Server struct {
 	execs    map[string]*execution
 	queue    *jobQueue
 	cache    *resultCache
-	backends []*backend // execution substrates; index 0 is local when present
+	wal      *journal.Journal // nil without Config.WALDir
+	backends []*backend       // execution substrates; index 0 is local when present
 	wg       sync.WaitGroup
 	stop     chan struct{} // closed on the first Drain; stops the prober
 
 	draining bool
+	ready    bool // journal replay finished; /readyz gates on this
 	seq      uint64
 	busy     int // local in-flight simulations (BusyWorkers)
+
+	// hedgeCancels tracks the private context of every in-flight hedge
+	// attempt, so cancellation and drain reach hedges whose execution has
+	// already settled.
+	hedgeCancels map[*execution]context.CancelFunc
+	// verifying tracks executions finalised as Done while another attempt
+	// was still in flight: the loser deliberately runs to completion to
+	// cross-check the accepted result, but drain must still be able to
+	// interrupt it.
+	verifying map[*execution]struct{}
 
 	// Cumulative counters (reported by /statsz).
 	submitted, rejected, deduped       uint64
 	runsCompleted, runsFailed          uint64
 	runsCanceled, failovers            uint64
+	hedges, hedgeWins, hedgeMismatches uint64
+	walReplayed, walRequeued           uint64
+	walErrors                          uint64
 	simCycles                          uint64
 	faultDrops, faultDups, faultDelays uint64
 	faultStalls, snoopTimeouts         uint64
@@ -229,18 +292,30 @@ type Server struct {
 }
 
 // New builds and starts a server: its dispatcher (and, for a
-// coordinator, its health checker) is live on return.
-func New(cfg Config) *Server {
+// coordinator, its health checker) is live on return. With WALDir set,
+// the journal is replayed first — completed jobs are restored from the
+// disk cache and incomplete ones requeued — before the server reports
+// ready; an unusable WAL or cache directory is the only error.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:   cfg.withDefaults(),
-		start: time.Now(),
-		jobs:  make(map[string]*job),
-		execs: make(map[string]*execution),
-		stop:  make(chan struct{}),
+		cfg:          cfg.withDefaults(),
+		start:        time.Now(),
+		jobs:         make(map[string]*job),
+		execs:        make(map[string]*execution),
+		hedgeCancels: make(map[*execution]context.CancelFunc),
+		verifying:    make(map[*execution]struct{}),
+		stop:         make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.queue = newJobQueue(s.cfg.QueueCapacity)
-	s.cache = newResultCache(s.cfg.CacheEntries)
+	var disk *diskCache
+	if s.cfg.CacheDir != "" {
+		var err error
+		if disk, err = newDiskCache(s.cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	s.cache = newResultCache(s.cfg.CacheEntries, disk)
 	if s.cfg.Workers > 0 {
 		s.backends = append(s.backends, &backend{
 			name: "local", slots: s.cfg.Workers, healthy: true,
@@ -249,13 +324,38 @@ func New(cfg Config) *Server {
 	for _, url := range s.cfg.Backends {
 		s.newRemoteBackendLocked(strings.TrimRight(strings.TrimSpace(url), "/"), 0)
 	}
+
+	if s.cfg.WALDir != "" {
+		sync, err := journal.ParseSyncPolicy(s.cfg.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		wal, records, err := journal.Open(journal.Options{
+			Dir: s.cfg.WALDir, Sync: sync, SegmentBytes: s.cfg.WALSegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+		s.mu.Lock()
+		if err := s.replayLocked(records); err != nil {
+			s.mu.Unlock()
+			wal.Close()
+			return nil, err
+		}
+		s.ready = true
+		s.mu.Unlock()
+	} else {
+		s.ready = true
+	}
+
 	s.wg.Add(1)
 	go s.dispatcher()
 	if s.cfg.federated() {
 		s.wg.Add(1)
 		go s.prober()
 	}
-	return s
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -283,8 +383,13 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.submitted++
 
 	// Content-addressed cache: a completed identical run answers
-	// immediately, without a queue slot.
+	// immediately, without a queue slot. Journaled with the spec so a
+	// post-crash poll of this job ID can still be answered (from the disk
+	// cache, or by re-running if the cached result did not survive).
 	if res, ok := s.cache.Get(fp); ok {
+		if err := s.walSubmitLocked(spec, fp); err != nil {
+			return JobStatus{}, err
+		}
 		j := s.newJobLocked(fp, nil)
 		j.cached = true
 		j.result = res
@@ -295,12 +400,30 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	// In-flight dedup (singleflight): identical concurrent submissions
 	// share one execution and therefore one simulation.
 	if ex, ok := s.execs[fp]; ok {
+		// The journal entry precedes the acknowledgment; the record
+		// carries no spec (the execution's first record has it).
+		if err := s.walAppendLocked(journal.Record{
+			Kind: journal.KindSubmitted, JobID: s.nextJobID(), Seq: s.seq + 1, Fingerprint: fp,
+		}); err != nil {
+			return JobStatus{}, err
+		}
 		j := s.newJobLocked(fp, ex)
 		ex.jobs = append(ex.jobs, j)
 		ex.live++
 		s.deduped++
 		s.logf("job %s %s deduped onto %s", j.id, ex.label, shortFP(fp))
 		return j.statusLocked(), nil
+	}
+
+	// Backpressure precedes the journal append: once a submitted record
+	// is durable, admission must not fail, or replay would resurrect a
+	// job the client was told to retry.
+	if s.queue.Len() >= s.cfg.QueueCapacity {
+		s.rejected++
+		return JobStatus{}, ErrQueueFull
+	}
+	if err := s.walSubmitLocked(spec, fp); err != nil {
+		return JobStatus{}, err
 	}
 
 	interval := spec.Options.IntervalCycles
@@ -312,7 +435,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		label:    fj.Algorithm.String() + "/" + fj.Workload,
 		interval: interval,
 		priority: spec.Priority,
-		seq:      s.seq,
+		seq:      s.seq + 1, // the admission sequence of the job minted below
 		state:    StateQueued,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -333,31 +456,18 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	return j.statusLocked(), nil
 }
 
+// nextJobID previews the ID newJobLocked will mint, so the journal
+// record written before the acknowledgment names the job it admits.
+func (s *Server) nextJobID() string { return fmt.Sprintf("j-%06d", s.seq+1) }
+
 // newJobLocked allocates a job record and evicts over-retention finished
 // jobs oldest-first.
 func (s *Server) newJobLocked(fp string, ex *execution) *job {
 	s.seq++
-	j := &job{id: fmt.Sprintf("j-%06d", s.seq), fp: fp, exec: ex}
+	j := &job{id: fmt.Sprintf("j-%06d", s.seq), seq: s.seq, fp: fp, exec: ex}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	for len(s.jobs) > s.cfg.FinishedJobRetention {
-		evicted := false
-		for i, id := range s.order {
-			old, ok := s.jobs[id]
-			if !ok {
-				continue
-			}
-			if st := old.statusLocked().State; st == StateDone || st == StateFailed || st == StateCanceled {
-				delete(s.jobs, id)
-				s.order = append(s.order[:i:i], s.order[i+1:]...)
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			break // everything live; let the map grow rather than lose state
-		}
-	}
+	s.evictFinishedLocked()
 	return j
 }
 
@@ -385,6 +495,13 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	st := j.statusLocked()
 	if st.State == StateDone || st.State == StateFailed || st.State == StateCanceled {
 		return st, nil
+	}
+	// Journal the cancellation before acknowledging it: a cancel the
+	// client saw succeed must not come back from the dead on replay.
+	if err := s.walAppendLocked(journal.Record{
+		Kind: journal.KindCancelled, JobID: j.id, Seq: j.seq, Fingerprint: j.fp,
+	}); err != nil {
+		return JobStatus{}, err
 	}
 	j.canceled = true
 	ex := j.exec
@@ -441,41 +558,140 @@ func (s *Server) dispatcher() {
 			continue
 		}
 		b := s.pickLocked()
-		b.inflight++
-		b.dispatched++
-		if b.client == nil {
-			s.busy++
+		s.dispatchLocked(b, ex, ex.ctx, false)
+		if s.cfg.HedgeDelay > 0 && s.cfg.federated() {
+			s.wg.Add(1)
+			go s.hedgeTimer(b, ex)
 		}
-		ex.state = StateRunning
-		s.wg.Add(1)
-		go s.runOn(b, ex)
 	}
 }
 
-// runOn executes one dispatched execution on its assigned backend and
-// settles it: finalised on success, deterministic failure or
+// dispatchLocked assigns one attempt of an execution to a backend and
+// spawns its run goroutine. The primary attempt runs under the
+// execution's own context; a hedge brings its private one.
+func (s *Server) dispatchLocked(b *backend, ex *execution, ctx context.Context, hedge bool) {
+	b.inflight++
+	b.dispatched++
+	if b.client == nil {
+		s.busy++
+	}
+	ex.running++
+	ex.state = StateRunning
+	if !hedge {
+		// Informational: replay requeues a started-but-not-done job
+		// either way, but the record dates the dispatch for operators.
+		if err := s.walAppendLocked(journal.Record{
+			Kind: journal.KindStarted, Seq: ex.seq, Fingerprint: ex.fp,
+		}); err != nil {
+			s.logf("wal: %v (job %s keeps running)", err, ex.label)
+		}
+	}
+	s.wg.Add(1)
+	go s.runOn(b, ex, ctx, hedge)
+}
+
+// hedgeTimer waits out the hedge delay and, if the execution is still
+// running, re-dispatches it to a second healthy backend. First result
+// wins; the loser's result is compared bit-for-bit against the winner's
+// (see runOn), because a deterministic simulator makes any divergence a
+// hard integrity error.
+func (s *Server) hedgeTimer(primary *backend, ex *execution) {
+	defer s.wg.Done()
+	t := time.NewTimer(s.cfg.HedgeDelay)
+	defer t.Stop()
+	select {
+	case <-ex.done:
+		return
+	case <-s.stop:
+		return
+	case <-t.C:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ex.state != StateRunning || ex.hedged || s.draining || ex.ctx.Err() != nil {
+		return
+	}
+	b := s.pickHedgeLocked(primary)
+	if b == nil {
+		return // no second healthy backend with a free slot
+	}
+	hctx, hcancel := context.WithCancel(context.Background())
+	s.hedgeCancels[ex] = hcancel
+	ex.hedged = true
+	s.hedges++
+	s.logf("job %s hedged onto %s after %s (%s)", ex.label, b.name, s.cfg.HedgeDelay, shortFP(ex.fp))
+	s.dispatchLocked(b, ex, hctx, true)
+}
+
+// runOn executes one attempt of a dispatched execution on its assigned
+// backend and settles it: finalised on success, deterministic failure or
 // cancellation; re-queued for failover when a remote backend died under
 // it (bounded by DispatchRetries, then failed with the last backend
-// error).
-func (s *Server) runOn(b *backend, ex *execution) {
+// error). When hedging is on, two attempts of one execution can be in
+// flight: the first to settle finalises the execution, and the other —
+// which deliberately runs to completion when the winner succeeded —
+// only verifies that its result is bit-identical, counting any
+// divergence as a hard integrity error.
+func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge bool) {
 	defer s.wg.Done()
 	s.logf("job run %s on %s (%s)", ex.label, b.name, shortFP(ex.fp))
 
 	var res flexsnoop.Result
 	var err error
 	if b.client == nil {
-		res, err = s.runExecution(ex)
+		res, err = s.runExecution(ctx, ex)
 	} else {
-		res, err = s.runRemote(b, ex)
+		res, err = s.runRemote(b, ex, ctx)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b.inflight--
+	ex.running--
 	if b.client == nil {
 		s.busy--
 	}
 	defer s.cond.Broadcast() // a slot freed (or a requeue): wake the dispatcher
+	if hedge {
+		if cancel, ok := s.hedgeCancels[ex]; ok {
+			cancel()
+			delete(s.hedgeCancels, ex)
+		}
+	}
+
+	// Another attempt already settled the execution: this one is only a
+	// cross-check. Deterministic simulations make the comparison exact.
+	if ex.state == StateDone || ex.state == StateFailed || ex.state == StateCanceled {
+		if err == nil && ex.state == StateDone {
+			b.completed++
+			if !reflect.DeepEqual(res, ex.result) {
+				s.hedgeMismatches++
+				s.logf("INTEGRITY ERROR: hedged re-execution of %s on %s diverged from the accepted result (%s)",
+					ex.label, b.name, shortFP(ex.fp))
+			}
+		}
+		if ex.running == 0 {
+			// Last attempt settled: the deferred context release finalize
+			// skipped (to let this verification finish) happens now.
+			delete(s.verifying, ex)
+			ex.cancel()
+		}
+		return
+	}
+
+	// A hedge that failed does not touch the execution: the primary
+	// attempt is still in flight. Backend-side failures still mark the
+	// backend unhealthy so the prober re-examines it.
+	if hedge && err != nil {
+		if b.client != nil && transient(err) {
+			b.healthy = false
+			b.lastErr = err.Error()
+		}
+		return
+	}
+	if hedge && err == nil {
+		s.hedgeWins++
+	}
 
 	// Failover: a remote backend failing for backend-side reasons while
 	// the job itself is still wanted does not fail the job — it goes back
@@ -512,13 +728,13 @@ func (s *Server) runOn(b *backend, ex *execution) {
 // runExecution performs the simulation outside the server lock, labelled
 // for pprof so a CPU profile of the daemon attributes time per job, and
 // with the streaming telemetry tap installed.
-func (s *Server) runExecution(ex *execution) (res flexsnoop.Result, err error) {
+func (s *Server) runExecution(ctx context.Context, ex *execution) (res flexsnoop.Result, err error) {
 	opts := ex.job.Options
 	opts.Telemetry = &flexsnoop.TelemetryOptions{
 		OnRow:          ex.hub.publish,
 		IntervalCycles: ex.interval,
 	}
-	pprof.Do(ex.ctx, pprof.Labels("job", ex.label), func(ctx context.Context) {
+	pprof.Do(ctx, pprof.Labels("job", ex.label), func(ctx context.Context) {
 		res, err = flexsnoop.RunJobContext(ctx, flexsnoop.Job{
 			Algorithm: ex.job.Algorithm,
 			Workload:  ex.job.Workload,
@@ -529,14 +745,27 @@ func (s *Server) runExecution(ex *execution) (res flexsnoop.Result, err error) {
 }
 
 // finalizeLocked moves an execution to its terminal state, feeds the
-// cache and counters, and releases waiters.
+// cache and counters, journals the completion, and releases waiters.
 func (s *Server) finalizeLocked(ex *execution, res flexsnoop.Result, err error) {
 	delete(s.execs, ex.fp)
+	s.queue.Remove(ex) // no-op unless a hedge settled it while still queued for failover
 	switch {
 	case err == nil:
 		ex.state = StateDone
 		ex.result = res
-		s.cache.Put(ex.fp, res)
+		// The disk-cache write precedes the done record: replay resolves a
+		// done record through the cache, so the order must never leave a
+		// durable "done" pointing at a missing result. (Replay tolerates it
+		// anyway — the job is re-run — but the common case should not.)
+		if cerr := s.cache.Put(ex.fp, res); cerr != nil {
+			s.walErrors++
+			s.logf("wal: persisting result of %s: %v (job completes; replay would re-run it)", ex.label, cerr)
+		}
+		if werr := s.walAppendLocked(journal.Record{
+			Kind: journal.KindDone, Seq: ex.seq, Fingerprint: ex.fp,
+		}); werr != nil {
+			s.logf("wal: %v (completion of %s not journaled)", werr, ex.label)
+		}
 		s.runsCompleted++
 		s.simCycles += uint64(res.Cycles)
 		s.faultDrops += res.Stats.FaultDrops
@@ -554,10 +783,30 @@ func (s *Server) finalizeLocked(ex *execution, res flexsnoop.Result, err error) 
 	default:
 		ex.state = StateFailed
 		ex.err = err
+		// A deterministic failure would recur on replay: journal it as done
+		// with the error so restart does not loop on a poisoned spec.
+		if werr := s.walAppendLocked(journal.Record{
+			Kind: journal.KindDone, Seq: ex.seq, Fingerprint: ex.fp, Error: err.Error(),
+		}); werr != nil {
+			s.logf("wal: %v (failure of %s not journaled)", werr, ex.label)
+		}
 		s.runsFailed++
 		s.logf("job failed %s: %v", ex.label, err)
 	}
-	ex.cancel() // release the context's resources
+	if ex.state == StateDone && ex.running > 0 {
+		// The winner of a hedged race settled; the loser keeps running so
+		// its result can be cross-checked (runOn cancels the context once
+		// the last attempt is in). Drain can still interrupt it.
+		s.verifying[ex] = struct{}{}
+	} else {
+		// A hedge still in flight has nothing left to verify against a
+		// failed or cancelled execution.
+		if cancel, ok := s.hedgeCancels[ex]; ok {
+			cancel()
+			delete(s.hedgeCancels, ex)
+		}
+		ex.cancel() // release the context's resources
+	}
 	ex.hub.close()
 	close(ex.done)
 }
@@ -587,8 +836,21 @@ func (s *Server) Drain(timeout time.Duration) {
 		}
 		for _, j := range ex.jobs {
 			j.canceled = true
+			// Graceful shutdown journals the cancellations it implies, so a
+			// restart does not resurrect jobs the operator chose to drop —
+			// the journal distinguishes drain from a crash.
+			if err := s.walAppendLocked(journal.Record{
+				Kind: journal.KindCancelled, JobID: j.id, Seq: j.seq, Fingerprint: j.fp,
+			}); err != nil {
+				s.logf("wal: %v (drain cancellation of %s not journaled)", err, j.id)
+			}
 		}
 		s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
+	}
+	// Hedges whose winner already settled have nothing left to prove.
+	for ex, cancel := range s.hedgeCancels {
+		cancel()
+		delete(s.hedgeCancels, ex)
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -608,19 +870,40 @@ func (s *Server) Drain(timeout time.Duration) {
 		for _, ex := range s.execs {
 			ex.cancel()
 		}
+		for ex := range s.verifying {
+			ex.cancel() // hedge losers mid-verification
+		}
 		s.mu.Unlock()
 		<-done
 	}
+	s.mu.Lock()
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("wal: close: %v", err)
+		}
+		s.wal = nil
+	}
+	s.mu.Unlock()
 	s.logf("drained")
 }
 
 // Close shuts down immediately: running jobs are cancelled. For tests.
 func (s *Server) Close() { s.Drain(0) }
 
+// Ready reports whether startup (journal replay included) has finished;
+// /readyz gates on it so load balancers do not route to a server still
+// reconstructing its queue.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ready && !s.draining
+}
+
 // Stats is the /statsz snapshot.
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
+	Ready         bool    `json:"ready"`
 
 	Workers       int `json:"workers"`
 	BusyWorkers   int `json:"busy_workers"`
@@ -650,6 +933,22 @@ type Stats struct {
 	Failovers uint64         `json:"failovers,omitempty"`
 	Backends  []BackendStats `json:"backends,omitempty"`
 
+	// Hedged dispatch (coordinator mode with HedgeDelay). HedgeMismatches
+	// counts hard integrity errors: a hedge pair whose deterministic
+	// results were not bit-identical.
+	Hedges          uint64 `json:"hedges,omitempty"`
+	HedgeWins       uint64 `json:"hedge_wins,omitempty"`
+	HedgeMismatches uint64 `json:"hedge_mismatches,omitempty"`
+
+	// Durability (WALDir / CacheDir only).
+	WALRecords       uint64 `json:"wal_records,omitempty"`
+	WALReplayed      uint64 `json:"wal_replayed,omitempty"`
+	WALRequeued      uint64 `json:"wal_requeued,omitempty"`
+	WALErrors        uint64 `json:"wal_errors,omitempty"`
+	DiskCacheEntries int    `json:"disk_cache_entries,omitempty"`
+	DiskCacheHits    uint64 `json:"disk_cache_hits,omitempty"`
+	DiskCacheCorrupt uint64 `json:"disk_cache_corrupt,omitempty"`
+
 	// Robustness counters aggregated over completed runs.
 	FaultDrops    uint64 `json:"fault_drops"`
 	FaultDups     uint64 `json:"fault_dups"`
@@ -670,6 +969,7 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Draining:       s.draining,
+		Ready:          s.ready && !s.draining,
 		Workers:        workers,
 		BusyWorkers:    s.busy,
 		QueueDepth:     s.queue.Len(),
@@ -704,6 +1004,20 @@ func (s *Server) Stats() Stats {
 		for _, b := range s.backends {
 			st.Backends = append(st.Backends, b.statsLocked())
 		}
+		st.Hedges = s.hedges
+		st.HedgeWins = s.hedgeWins
+		st.HedgeMismatches = s.hedgeMismatches
+	}
+	if s.wal != nil {
+		st.WALRecords = s.wal.Appended()
+		st.WALReplayed = s.walReplayed
+		st.WALRequeued = s.walRequeued
+	}
+	st.WALErrors = s.walErrors
+	if s.cache.disk != nil {
+		st.DiskCacheEntries = s.cache.disk.Len()
+		st.DiskCacheHits = s.cache.disk.hits
+		st.DiskCacheCorrupt = s.cache.disk.corrupt
 	}
 	return st
 }

@@ -19,6 +19,16 @@ import (
 	"flexsnoop/internal/telemetry"
 )
 
+// mustNew builds a started Server or fails the test.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // smallSpec is a fast-to-simulate job; vary seed to make distinct jobs.
 func smallSpec(seed int64) JobSpec {
 	return JobSpec{
@@ -63,7 +73,7 @@ func TestSubmitMatchesInProcess(t *testing.T) {
 		t.Fatalf("in-process run: %v", err)
 	}
 
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -81,7 +91,7 @@ func TestSubmitMatchesInProcess(t *testing.T) {
 // TestCacheHit: the second identical submission is answered from the
 // content-addressed cache without a second simulation.
 func TestCacheHit(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 
 	st1, err := s.Submit(smallSpec(1))
@@ -120,7 +130,7 @@ func TestCacheHit(t *testing.T) {
 // still pending share one execution (singleflight), and both observe the
 // same result.
 func TestInFlightDedup(t *testing.T) {
-	s := New(Config{Workers: 1, QueueCapacity: 8})
+	s := mustNew(t, Config{Workers: 1, QueueCapacity: 8})
 	defer s.Close()
 
 	// Occupy the single worker so the deduped pair stays queued.
@@ -157,7 +167,7 @@ func TestInFlightDedup(t *testing.T) {
 // TestQueueFullBackpressure: beyond the queue capacity, submissions fail
 // with ErrQueueFull, and the HTTP layer turns that into 429 + Retry-After.
 func TestQueueFullBackpressure(t *testing.T) {
-	s := New(Config{Workers: 1, QueueCapacity: 1})
+	s := mustNew(t, Config{Workers: 1, QueueCapacity: 1})
 	defer s.Close()
 
 	// Long jobs with distinct seeds: no dedup, and neither the running nor
@@ -213,7 +223,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 // is dequeued without ever running; a running job's context interrupts
 // the simulation.
 func TestCancelQueuedAndRunning(t *testing.T) {
-	s := New(Config{Workers: 1, QueueCapacity: 8})
+	s := mustNew(t, Config{Workers: 1, QueueCapacity: 8})
 	defer s.Close()
 
 	running, err := s.Submit(JobSpec{
@@ -290,7 +300,7 @@ func waitTerminal(t *testing.T, s *Server, id string) JobStatus {
 // for a completed run, rows parse as telemetry.Row, and cycles ascend.
 // A live subscriber that attached before completion sees the same series.
 func TestMetricsStream(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -365,7 +375,7 @@ func readMetrics(base, id string) (int, []telemetry.Row) {
 // TestDrain: draining cancels queued jobs, lets the running one finish,
 // flips /readyz to 503, and refuses new submissions.
 func TestDrain(t *testing.T) {
-	s := New(Config{Workers: 1, QueueCapacity: 8})
+	s := mustNew(t, Config{Workers: 1, QueueCapacity: 8})
 	spec := smallSpec(20)
 	spec.Options.OpsPerCore = 20000
 	running, err := s.Submit(spec)
@@ -413,7 +423,7 @@ func TestDrain(t *testing.T) {
 // TestBadSpecsRejected: malformed specs come back as 400s with the
 // sentinel-typed errors, not as queued jobs.
 func TestBadSpecsRejected(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	defer s.Close()
 
 	cases := []struct {
@@ -472,7 +482,7 @@ func TestConcurrentMatrix(t *testing.T) {
 
 	before := runtime.NumGoroutine()
 
-	s := New(Config{Workers: 4, QueueCapacity: 8})
+	s := mustNew(t, Config{Workers: 4, QueueCapacity: 8})
 	ts := httptest.NewServer(s.Handler())
 	c := &Client{BaseURL: ts.URL, PollInterval: 2 * time.Millisecond}
 

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzSpecRoundTrip checks the wire-spec inverse pair on arbitrary
+// inputs: any JSON body the server would accept (strict decoding, valid
+// per Job()) must survive Job → SpecFor → Job with an identical
+// fingerprint, and the regenerated spec must itself re-encode stably.
+// This is the property the disk cache and the WAL replay lean on — a
+// fingerprint computed from a replayed spec must match the one computed
+// at submission time.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"algorithm":"Subset","workload":"fft"}`,
+		`{"version":1,"algorithm":"Lazy","workload":"barnes","priority":7,` +
+			`"options":{"ops_per_core":500,"seed":-3,"predictor":"Sub2k"}}`,
+		`{"algorithm":"Eager","workload":"fft","options":{` +
+			`"num_rings":2,"warmup_cycles":100,"check_invariants":true,` +
+			`"disable_prefetch":true,"shard_rings":true}}`,
+		`{"algorithm":"Exact","workload":"barnes","options":{` +
+			`"governor_budget_nj_per_kcycle":1.5,"watchdog_window":4096,` +
+			`"watchdog_degrade":true,"check_every":128}}`,
+		`{"algorithm":"SupersetAgg","workload":"fft","options":{` +
+			`"algorithms_per_node":["Lazy","Eager","Oracle","Subset"]}}`,
+		// Fault-plan grammar, with and without the retry budget.
+		`{"algorithm":"Oracle","workload":"fft","options":{"ops_per_core":200,` +
+			`"faults":"kind=drop,rate=0.01,ring=0,node=2,from=100,until=2000,seed=7"}}`,
+		`{"algorithm":"SupersetCon","workload":"barnes","options":{` +
+			`"faults":"kind=delay,rate=0.5,delay=3;kind=dup,rate=0.125,node=1",` +
+			`"fault_max_retries":5}}`,
+		// IntervalCycles is result-neutral: dropped by SpecFor, must not
+		// perturb the fingerprint.
+		`{"algorithm":"Subset","workload":"fft","options":{"interval_cycles":250}}`,
+		// Rejected shapes, as skip-path seeds: future version, unknown
+		// names, retries without a plan.
+		`{"version":99,"algorithm":"Subset","workload":"fft"}`,
+		`{"algorithm":"Bogus","workload":"fft"}`,
+		`{"algorithm":"Subset","workload":"fft","options":{"fault_max_retries":3}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var spec JobSpec
+		if err := dec.Decode(&spec); err != nil {
+			t.Skip()
+		}
+		job, err := spec.Job()
+		if err != nil {
+			t.Skip() // invalid specs are rejected at the door, not round-tripped
+		}
+		spec2, err := SpecFor(job.Algorithm, job.Workload, job.Options)
+		if err != nil {
+			t.Fatalf("SpecFor failed on options Job() accepted: %v\nspec: %s", err, data)
+		}
+		job2, err := spec2.Job()
+		if err != nil {
+			t.Fatalf("regenerated spec rejected by Job(): %v\nspec: %+v", err, spec2)
+		}
+		if a, b := job.Fingerprint(), job2.Fingerprint(); a != b {
+			t.Fatalf("fingerprint changed across round-trip: %s != %s\nin:  %s\nout: %+v",
+				a, b, data, spec2)
+		}
+		// The regenerated spec is a fixed point of the wire encoding.
+		wire, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatalf("marshal regenerated spec: %v", err)
+		}
+		var spec3 JobSpec
+		if err := json.Unmarshal(wire, &spec3); err != nil {
+			t.Fatalf("regenerated spec does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(spec2, spec3) {
+			t.Fatalf("regenerated spec not JSON-stable:\n%+v\n%+v", spec2, spec3)
+		}
+	})
+}

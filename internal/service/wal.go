@@ -1,0 +1,282 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"flexsnoop/internal/journal"
+)
+
+// This file is the server side of the write-ahead journal: the append
+// helpers that make state transitions durable before they are
+// acknowledged, and the replay that reconstructs the server from the
+// journal on startup.
+//
+// The recovery contract leans entirely on determinism and content
+// addressing. A "done" record does not carry the result — it promises
+// that the result for that fingerprint is either in the disk cache or
+// reproducible by re-running the spec, and the two are bit-identical.
+// So replay is: restore every journaled job; resolve terminal ones from
+// the cache (or re-run them if the cache entry is gone); requeue the
+// rest with their original priority and admission sequence, so a
+// restarted sweep proceeds in exactly the order the crashed one would
+// have.
+
+// walAppendLocked appends one record, or does nothing without a WAL.
+// An error wraps ErrDurability: the transition it records was NOT made
+// durable and must not be acknowledged.
+func (s *Server) walAppendLocked(rec journal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(rec); err != nil {
+		s.walErrors++
+		s.logf("wal: append %s: %v", rec.Kind, err)
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// walSubmitLocked journals the admission of the job newJobLocked is
+// about to mint, carrying the full wire spec so replay can re-execute
+// it from scratch.
+func (s *Server) walSubmitLocked(spec JobSpec, fp string) error {
+	if s.wal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("%w: encoding spec: %v", ErrDurability, err)
+	}
+	return s.walAppendLocked(journal.Record{
+		Kind: journal.KindSubmitted, JobID: s.nextJobID(), Seq: s.seq + 1,
+		Fingerprint: fp, Priority: spec.Priority, Spec: raw,
+	})
+}
+
+// replayJob is one job reconstructed from the journal scan.
+type replayJob struct {
+	id        string
+	seq       uint64
+	fp        string
+	priority  int
+	cancelled bool
+}
+
+// replayLocked rebuilds the server's job table and queue from the
+// journal records Open returned. It must run with s.mu held, before the
+// dispatcher starts.
+//
+// Replay is idempotent by job ID: a crash inside Compact's rename
+// window can leave the old segments beside the compacted one, so the
+// same record may be read twice — the first occurrence wins. Terminal
+// state is tracked per fingerprint, not per record order: determinism
+// makes "some execution of this fingerprint completed" a property of
+// the fingerprint itself.
+func (s *Server) replayLocked(records []journal.Record) error {
+	var (
+		jobs     []*replayJob
+		byID     = make(map[string]*replayJob)
+		specByFP = make(map[string]json.RawMessage)
+		doneByFP = make(map[string]string) // fp -> error ("" = success)
+	)
+	var maxSeq uint64
+	for i := range records {
+		rec := &records[i]
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		switch rec.Kind {
+		case journal.KindSubmitted:
+			if rec.JobID == "" || byID[rec.JobID] != nil {
+				continue // malformed, or a compaction-window duplicate
+			}
+			rj := &replayJob{id: rec.JobID, seq: rec.Seq, fp: rec.Fingerprint, priority: rec.Priority}
+			byID[rec.JobID] = rj
+			jobs = append(jobs, rj)
+			if len(rec.Spec) > 0 {
+				if _, ok := specByFP[rec.Fingerprint]; !ok {
+					specByFP[rec.Fingerprint] = rec.Spec
+				}
+			}
+		case journal.KindStarted:
+			// Informational only: started-but-not-done is requeued anyway.
+		case journal.KindDone:
+			if _, ok := doneByFP[rec.Fingerprint]; !ok {
+				doneByFP[rec.Fingerprint] = rec.Error
+			}
+		case journal.KindCancelled:
+			if rj := byID[rec.JobID]; rj != nil {
+				rj.cancelled = true
+			}
+		}
+	}
+
+	// Restore each job in admission order. Incomplete jobs sharing a
+	// fingerprint re-collapse onto one execution, exactly as their
+	// original submissions were deduped.
+	requeued := make(map[string]*execution)
+	for _, rj := range jobs {
+		j := &job{id: rj.id, seq: rj.seq, fp: rj.fp}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.walReplayed++
+		switch {
+		case rj.cancelled:
+			j.canceled = true
+		case hasDone(doneByFP, rj.fp) && doneByFP[rj.fp] != "":
+			// A journaled deterministic failure: re-running would only
+			// reproduce it, so restore the terminal state directly.
+			j.exec = terminalFailedExec(rj.fp, rj.seq, doneByFP[rj.fp])
+		case hasDone(doneByFP, rj.fp):
+			if res, ok := s.cache.Get(rj.fp); ok {
+				j.cached = true
+				j.result = res
+				continue
+			}
+			// Completed, but the result did not survive (no disk cache, or
+			// the entry failed verification). Determinism makes re-running
+			// exactly equivalent — fall through to requeue.
+			fallthrough
+		default:
+			ex, err := s.requeueReplayedLocked(requeued, rj, specByFP[rj.fp])
+			if err != nil {
+				j.exec = terminalFailedExec(rj.fp, rj.seq, err.Error())
+				continue
+			}
+			j.exec = ex
+			ex.jobs = append(ex.jobs, j)
+			ex.live++
+		}
+	}
+	s.seq = maxSeq
+	if s.seq < uint64(len(jobs)) {
+		s.seq = uint64(len(jobs))
+	}
+	s.walRequeued = uint64(len(requeued))
+	if s.walReplayed > 0 {
+		s.logf("wal: replayed %d jobs (%d executions requeued, %d torn records dropped)",
+			s.walReplayed, len(requeued), s.wal.Dropped())
+	}
+
+	// Trim finished jobs beyond retention (newJobLocked was bypassed), so
+	// a journal that grew across many restarts does not pin memory.
+	s.evictFinishedLocked()
+
+	// Rewrite the journal as exactly the restored state: one submitted
+	// record per surviving job plus its terminal record. This bounds
+	// journal growth and removes the compaction-window duplicates.
+	var live []journal.Record
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		rj := byID[j.id]
+		sub := journal.Record{
+			Kind: journal.KindSubmitted, JobID: j.id, Seq: j.seq,
+			Fingerprint: j.fp, Priority: rj.priority, Spec: specByFP[j.fp],
+		}
+		live = append(live, sub)
+		switch {
+		case j.canceled:
+			live = append(live, journal.Record{
+				Kind: journal.KindCancelled, JobID: j.id, Seq: j.seq, Fingerprint: j.fp,
+			})
+		case j.cached:
+			live = append(live, journal.Record{
+				Kind: journal.KindDone, Seq: j.seq, Fingerprint: j.fp,
+			})
+		case j.exec != nil && j.exec.state == StateFailed:
+			live = append(live, journal.Record{
+				Kind: journal.KindDone, Seq: j.seq, Fingerprint: j.fp, Error: j.exec.err.Error(),
+			})
+		}
+	}
+	return s.wal.Compact(live)
+}
+
+func hasDone(doneByFP map[string]string, fp string) bool {
+	_, ok := doneByFP[fp]
+	return ok
+}
+
+// requeueReplayedLocked finds or creates the execution for an
+// incomplete replayed job and (on creation) requeues it with its
+// original priority and sequence — Requeue bypasses the capacity bound,
+// because these jobs were already admitted once.
+func (s *Server) requeueReplayedLocked(requeued map[string]*execution, rj *replayJob, raw json.RawMessage) (*execution, error) {
+	if ex, ok := requeued[rj.fp]; ok {
+		return ex, nil
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("service: recovered job lost both its result and its spec")
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("service: recovered spec undecodable: %w", err)
+	}
+	fj, err := spec.Job()
+	if err != nil {
+		return nil, fmt.Errorf("service: recovered spec invalid: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ex := &execution{
+		fp:       rj.fp,
+		job:      fj,
+		spec:     spec,
+		label:    fj.Algorithm.String() + "/" + fj.Workload,
+		interval: spec.Options.IntervalCycles,
+		priority: rj.priority,
+		seq:      rj.seq,
+		state:    StateQueued,
+		ctx:      ctx,
+		cancel:   cancel,
+		hub:      newMetricsHub(),
+		done:     make(chan struct{}),
+	}
+	s.queue.Requeue(ex)
+	s.execs[rj.fp] = ex
+	requeued[rj.fp] = ex
+	return ex, nil
+}
+
+// terminalFailedExec builds an already-settled failed execution, so a
+// job recovered in a failed state answers Status/Stream like any other.
+func terminalFailedExec(fp string, seq uint64, msg string) *execution {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hub := newMetricsHub()
+	hub.close()
+	ex := &execution{
+		fp: fp, seq: seq, state: StateFailed, err: errors.New(msg),
+		ctx: ctx, cancel: cancel, hub: hub, done: make(chan struct{}),
+	}
+	close(ex.done)
+	return ex
+}
+
+// evictFinishedLocked applies FinishedJobRetention, oldest-first — the
+// same policy newJobLocked applies on admission.
+func (s *Server) evictFinishedLocked() {
+	for len(s.jobs) > s.cfg.FinishedJobRetention {
+		evicted := false
+		for i, id := range s.order {
+			old, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			if st := old.statusLocked().State; st == StateDone || st == StateFailed || st == StateCanceled {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+}

@@ -28,7 +28,10 @@ func TestSensitivityRemoteRunner(t *testing.T) {
 		t.Fatalf("in-process sweep: %v", err)
 	}
 
-	srv := service.New(service.Config{Workers: 4, QueueCapacity: 4})
+	srv, err := service.New(service.Config{Workers: 4, QueueCapacity: 4})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
