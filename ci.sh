@@ -24,8 +24,11 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+# -shuffle=on randomises test order within each package, so tests that
+# silently depend on a predecessor's side effects fail here rather than
+# in a future refactor.
+go test -shuffle=on ./...
 
 echo "== go test -race =="
 go test -race ./internal/... .
@@ -59,6 +62,14 @@ echo "== federation smoke =="
 # failover and its output must be byte-identical to the serial sweep.
 go test -run TestRingsimdFederation -count=1 ./cmd/ringsimd
 
+echo "== overload smoke =="
+# Overload resilience: flood a 2-worker daemon (sojourn aging, brownout
+# and rate limiting armed) with 8x its queue capacity in mixed
+# priorities and deadlines. Every admitted job must settle inside the
+# overload contract (done, expired, or shed — nothing else), the daemon
+# must not leak goroutines, and SIGTERM must still drain cleanly.
+go test -run TestRingsimdOverloadSmoke -count=1 ./cmd/ringsimd
+
 echo "== chaos smoke =="
 # Crash durability: a race-built daemon running with -wal and -cachedir
 # is SIGKILLed mid-sweep and restarted on the same address against the
@@ -74,6 +85,6 @@ echo "== bench (short) =="
 # regression versus the newest one. The default suite includes the
 # matrix-subset-shard and scaling-16cmp-shard rows, so this single
 # invocation gates both serial and ShardRings throughput.
-go run ./cmd/bench -short -maxregress 25 -out BENCH_8.json
+go run ./cmd/bench -short -maxregress 25 -out BENCH_9.json
 
 echo "CI OK"

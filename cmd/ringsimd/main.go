@@ -10,6 +10,19 @@
 //	         [-wal DIR] [-walsync always|none] [-cachedir DIR]
 //	         [-coordinator] [-backends URL,URL,...] [-hedge 0s]
 //	         [-register http://COORDINATOR] [-heartbeat 5s]
+//	         [-sojourn 0s] [-brownout 0s] [-ratelimit 0] [-rateburst 0]
+//	         [-breaker 0] [-breakercooldown 5s] [-breakerlatency 0s]
+//
+// Overload resilience (DESIGN.md §12), all default-off: -sojourn enables
+// CoDel-style queue aging (sustained head-of-line sojourn above the
+// target sheds one low-priority job per interval); -brownout suspends
+// hedging and sheds negative-priority work while sojourn exceeds the
+// threshold; -ratelimit caps per-client_id admissions per second (burst
+// -rateburst); -breaker opens a per-backend circuit after that many
+// consecutive dispatch failures (cooldown -breakercooldown, then one
+// half-open probe; -breakerlatency additionally counts slow successes as
+// failures). Submissions may carry deadline_ms — an end-to-end budget the
+// daemon enforces in the queue, on workers, and across federation.
 //
 // Durability (DESIGN.md §11): -wal journals every job state transition
 // before it is acknowledged and replays the journal on startup —
@@ -74,6 +87,14 @@ var (
 	hedgeFlag     = flag.Duration("hedge", 0, "coordinator hedged-dispatch delay (0 disables): re-dispatch a still-running job to a second backend after this long")
 	registerFlag  = flag.String("register", "", "coordinator base URL to register this worker with (and heartbeat)")
 	heartbeatFlag = flag.Duration("heartbeat", 5*time.Second, "registration heartbeat interval when -register is set")
+
+	sojournFlag         = flag.Duration("sojourn", 0, "CoDel-style queue-sojourn target: shed low-priority jobs while head-of-line wait stays above it (0 disables)")
+	brownoutFlag        = flag.Duration("brownout", 0, "queue-sojourn threshold past which hedging stops and negative-priority work is shed (0 disables)")
+	rateLimitFlag       = flag.Float64("ratelimit", 0, "per-client_id admissions per second (0 disables rate limiting)")
+	rateBurstFlag       = flag.Int("rateburst", 0, "token-bucket burst for -ratelimit (0 = ceil(ratelimit))")
+	breakerFlag         = flag.Int("breaker", 0, "consecutive dispatch failures that open a backend's circuit breaker (0 disables breakers)")
+	breakerCooldownFlag = flag.Duration("breakercooldown", 0, "open-breaker cooldown before the half-open probe (0 = default 5s)")
+	breakerLatencyFlag  = flag.Duration("breakerlatency", 0, "count successful dispatches slower than this as breaker failures (0 disables)")
 )
 
 func main() {
@@ -96,6 +117,13 @@ func run() error {
 		WALSync:         *walSyncFlag,
 		CacheDir:        *cacheDirFlag,
 		MaxRequestBytes: *maxBodyFlag,
+		SojournTarget:   *sojournFlag,
+		BrownoutSojourn: *brownoutFlag,
+		RateLimit:       *rateLimitFlag,
+		RateBurst:       *rateBurstFlag,
+		BreakerFailures: *breakerFlag,
+		BreakerCooldown: *breakerCooldownFlag,
+		BreakerLatency:  *breakerLatencyFlag,
 	}
 	for _, u := range strings.Split(*backendsFlag, ",") {
 		if u = strings.TrimSpace(u); u != "" {

@@ -9,9 +9,15 @@
 //	sweep [-ops 2000] [-seed 1] [-apps a,b,c] [-v]
 //	      [-faults "kind=drop,rate=0.05,seed=1"]
 //	      [-remote http://HOST:PORT[,http://HOST:PORT...]] [-parallel N]
+//	      [-deadline 0s] [-clientid NAME]
 //
 // With -remote, every cell of the sweep is submitted to a running
 // ringsimd server (see cmd/ringsimd) instead of simulating in-process.
+// -deadline stamps each submitted cell with an end-to-end budget
+// (deadline_ms) the server enforces even across federation; -clientid
+// names this sweep for the server's per-client admission control. Both
+// are transport attributes: they never change what an admitted cell
+// computes.
 // The simulator is deterministic, so remote results are bit-identical
 // and the reported figures are unchanged; the server's queue provides
 // the backpressure, and its cache collapses repeated sweeps. -remote
@@ -37,13 +43,15 @@ import (
 )
 
 var (
-	opsFlag    = flag.Uint64("ops", 2000, "memory references per core")
-	seedFlag   = flag.Int64("seed", 1, "workload seed")
-	appsFlag   = flag.String("apps", "", "comma-separated SPLASH-2 subset")
-	verbose    = flag.Bool("v", false, "per-run progress")
-	faultsFlag = flag.String("faults", "", "fault plan applied to every run (see ringsim -faults)")
-	remoteFlag = flag.String("remote", "", "comma-separated ringsimd base URLs (or one coordinator URL) to submit runs to instead of simulating in-process")
-	parFlag    = flag.Int("parallel", 0, "concurrent cells (default GOMAXPROCS; with -remote, in-flight submissions)")
+	opsFlag      = flag.Uint64("ops", 2000, "memory references per core")
+	seedFlag     = flag.Int64("seed", 1, "workload seed")
+	appsFlag     = flag.String("apps", "", "comma-separated SPLASH-2 subset")
+	verbose      = flag.Bool("v", false, "per-run progress")
+	faultsFlag   = flag.String("faults", "", "fault plan applied to every run (see ringsim -faults)")
+	remoteFlag   = flag.String("remote", "", "comma-separated ringsimd base URLs (or one coordinator URL) to submit runs to instead of simulating in-process")
+	parFlag      = flag.Int("parallel", 0, "concurrent cells (default GOMAXPROCS; with -remote, in-flight submissions)")
+	deadlineFlag = flag.Duration("deadline", 0, "per-cell end-to-end deadline submitted with each remote run (0 = none; requires -remote)")
+	clientIDFlag = flag.String("clientid", "", "client_id submitted with each remote run, for server-side rate limiting (requires -remote)")
 )
 
 func main() {
@@ -84,9 +92,14 @@ func main() {
 			if err != nil {
 				return flexsnoop.Result{}, err
 			}
+			spec.DeadlineMS = deadlineFlag.Milliseconds()
+			spec.ClientID = *clientIDFlag
 			c := clients[int(next.Add(1)-1)%len(clients)]
 			return c.Run(ctx, spec)
 		}
+	} else if *deadlineFlag != 0 || *clientIDFlag != "" {
+		fmt.Fprintln(os.Stderr, "sweep: -deadline and -clientid require -remote")
+		os.Exit(2)
 	}
 	s, err := flexsnoop.RunSensitivity(opts)
 	if err != nil {

@@ -42,6 +42,18 @@ type backend struct {
 	lastErr  string    // most recent dispatch or probe failure
 	lastSeen time.Time // last successful probe or registration heartbeat
 
+	// Circuit breaker state (meaningful only when Config.BreakerFailures
+	// > 0 and the backend is remote; DESIGN.md §12). The breaker refines
+	// the binary healthy flag: healthy answers "is it reachable" (the
+	// prober's question), the breaker answers "is it worth dispatching
+	// to" (consecutive failures or chronic slowness open it, a half-open
+	// probe dispatch closes it again).
+	breaker       breakerState
+	consecFails   int       // consecutive breaker-failure events while closed
+	openUntil     time.Time // open → half-open transition time
+	halfOpenProbe bool      // the single half-open probe dispatch is in flight
+	breakerOpens  uint64    // cumulative closed/half-open → open transitions
+
 	// Cumulative counters (reported per backend by /statsz).
 	dispatched, completed, failed, failovers uint64
 
@@ -58,6 +70,29 @@ type BackendRegistration struct {
 	// Workers is the worker's simulation pool size; the coordinator
 	// dispatches at most this many concurrent jobs to it (0 = probe it).
 	Workers int `json:"workers,omitempty"`
+}
+
+// breakerState is the per-backend circuit-breaker state machine:
+// closed (dispatch normally) → open (quarantined for a cooldown after
+// BreakerFailures consecutive failures) → half-open (one probe dispatch
+// allowed; success closes, failure re-opens).
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 // BackendStats is the /statsz view of one backend.
@@ -77,11 +112,15 @@ type BackendStats struct {
 	// this server's queue).
 	QueueDepth   int     `json:"queue_depth,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
-	LastError    string  `json:"last_error,omitempty"`
+	// BreakerState ("closed", "open", "half-open") and BreakerOpens are
+	// present only when Config.BreakerFailures enables circuit breakers.
+	BreakerState string `json:"breaker_state,omitempty"`
+	BreakerOpens uint64 `json:"breaker_opens,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
-func (b *backend) statsLocked() BackendStats {
-	return BackendStats{
+func (b *backend) statsLocked(breakers bool) BackendStats {
+	st := BackendStats{
 		Name:         b.name,
 		Local:        b.client == nil,
 		Healthy:      b.healthy,
@@ -96,6 +135,37 @@ func (b *backend) statsLocked() BackendStats {
 		CacheHitRate: b.remoteHitRate,
 		LastError:    b.lastErr,
 	}
+	if breakers && b.client != nil {
+		st.BreakerState = b.breaker.String()
+		st.BreakerOpens = b.breakerOpens
+	}
+	return st
+}
+
+// availableLocked reports whether the backend could accept work at all
+// (ignoring free slots): reachable, and — with breakers enabled — not
+// quarantined by an open breaker still in its cooldown. Failover's
+// "fail fast when nobody is left" decision keys off this.
+func (b *backend) availableLocked(now time.Time, breakers bool) bool {
+	if !b.healthy || b.slots <= 0 {
+		return false
+	}
+	if !breakers || b.client == nil {
+		return true
+	}
+	return b.breaker != breakerOpen || !now.Before(b.openUntil)
+}
+
+// eligibleLocked is availableLocked plus a free slot, and — half-open —
+// at most one probe dispatch in flight.
+func (b *backend) eligibleLocked(now time.Time, breakers bool) bool {
+	if !b.availableLocked(now, breakers) || b.inflight >= b.slots {
+		return false
+	}
+	if breakers && b.client != nil && b.breaker == breakerHalfOpen && b.halfOpenProbe {
+		return false
+	}
+	return true
 }
 
 // federated reports whether this server is a coordinator.
@@ -160,32 +230,26 @@ func (s *Server) newRemoteBackendLocked(url string, workers int) *backend {
 // probe). The first probe replaces it with the worker's real pool size.
 const defaultRemoteSlots = 4
 
-// pickLocked returns the healthy backend with free capacity that is
-// least loaded (lowest inflight/slots fraction; ties go to the earlier
-// backend, so the local pool — always index 0 when present — wins a
-// dead heat). Nil when every backend is busy, unhealthy, or absent.
-func (s *Server) pickLocked() *backend {
-	var best *backend
-	var bestLoad float64
-	for _, b := range s.backends {
-		if !b.healthy || b.slots <= 0 || b.inflight >= b.slots {
-			continue
-		}
-		load := float64(b.inflight) / float64(b.slots)
-		if best == nil || load < bestLoad {
-			best, bestLoad = b, load
-		}
-	}
-	return best
-}
+// pickLocked returns the eligible backend (healthy, breaker permitting,
+// free capacity) that is least loaded (lowest inflight/slots fraction;
+// ties go to the earlier backend, so the local pool — always index 0
+// when present — wins a dead heat). Nil when every backend is busy,
+// unhealthy, quarantined, or absent.
+func (s *Server) pickLocked() *backend { return s.pickExcludingLocked(nil) }
 
 // pickHedgeLocked is pickLocked excluding the primary backend: a hedge
 // on the same substrate would only duplicate the same failure domain.
 func (s *Server) pickHedgeLocked(primary *backend) *backend {
+	return s.pickExcludingLocked(primary)
+}
+
+func (s *Server) pickExcludingLocked(skip *backend) *backend {
+	now := time.Now()
+	breakers := s.cfg.BreakerFailures > 0
 	var best *backend
 	var bestLoad float64
 	for _, b := range s.backends {
-		if b == primary || !b.healthy || b.slots <= 0 || b.inflight >= b.slots {
+		if b == skip || !b.eligibleLocked(now, breakers) {
 			continue
 		}
 		load := float64(b.inflight) / float64(b.slots)
@@ -196,15 +260,64 @@ func (s *Server) pickHedgeLocked(primary *backend) *backend {
 	return best
 }
 
-// anyHealthyLocked reports whether any backend (local included) is
-// currently eligible for dispatch, busy or not.
-func (s *Server) anyHealthyLocked() bool {
+// anyAvailableLocked reports whether any backend (local included) could
+// currently accept work, busy or not — open breakers mid-cooldown do
+// not count, so a job failing over off the last live backend fails fast
+// instead of parking forever.
+func (s *Server) anyAvailableLocked() bool {
+	now := time.Now()
+	breakers := s.cfg.BreakerFailures > 0
 	for _, b := range s.backends {
-		if b.healthy && b.slots > 0 {
+		if b.availableLocked(now, breakers) {
 			return true
 		}
 	}
 	return false
+}
+
+// backendObserveLocked feeds one finished dispatch attempt into the
+// backend's circuit breaker: transient failures (and, with
+// BreakerLatency set, chronically slow successes) count against it,
+// clean successes reset it. No-op with breakers disabled, for the local
+// pool (its failures are the job's, not the substrate's), and for
+// cancellations.
+func (s *Server) backendObserveLocked(b *backend, err error, latency time.Duration) {
+	if s.cfg.BreakerFailures <= 0 || b.client == nil {
+		return
+	}
+	b.halfOpenProbe = false
+	switch {
+	case err == nil:
+		if s.cfg.BreakerLatency > 0 && latency > s.cfg.BreakerLatency {
+			s.breakerFailureLocked(b, fmt.Errorf("dispatch took %s, over the %s latency bound",
+				latency.Round(time.Millisecond), s.cfg.BreakerLatency))
+			return
+		}
+		if b.breaker != breakerClosed {
+			s.logf("backend %s breaker closed (probe succeeded)", b.name)
+		}
+		b.breaker = breakerClosed
+		b.consecFails = 0
+	case transient(err):
+		s.breakerFailureLocked(b, err)
+	}
+}
+
+// breakerFailureLocked records one breaker-failure event: the threshold
+// of consecutive failures — or any failure of a half-open probe — opens
+// the breaker for a cooldown.
+func (s *Server) breakerFailureLocked(b *backend, err error) {
+	b.consecFails++
+	b.lastErr = err.Error()
+	if b.breaker == breakerHalfOpen || b.consecFails >= s.cfg.BreakerFailures {
+		if b.breaker != breakerOpen {
+			b.breakerOpens++
+			s.logf("backend %s breaker open for %s (%d consecutive failures, last: %v)",
+				b.name, s.cfg.BreakerCooldown, b.consecFails, err)
+		}
+		b.breaker = breakerOpen
+		b.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
+	}
 }
 
 // transientError marks a dispatch failure as the backend's fault rather
@@ -215,15 +328,31 @@ type transientError struct{ err error }
 func (e *transientError) Error() string { return e.err.Error() }
 func (e *transientError) Unwrap() error { return e.err }
 
+// permanentError marks a dispatch failure as the job's own: retrying on
+// another backend would deterministically reproduce it.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
 // transient reports whether a dispatch failure should fail over. A
 // deterministic simulator makes the classification crisp: a spec the
 // worker rejected (HTTP 400) or a simulation that failed would do exactly
 // the same anywhere, so only backend-side conditions — transport errors,
-// 5xx, a draining or restarted worker — are worth a retry elsewhere.
+// 5xx, a draining or restarted worker — are worth a retry elsewhere. An
+// expired deadline or an admission-control shed is the job's fate, not
+// the backend's fault.
 func transient(err error) bool {
 	var te *transientError
 	if errors.As(err, &te) {
 		return true
+	}
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	if errors.Is(err, ErrExpired) || errors.Is(err, errShed) {
+		return false
 	}
 	var re *remoteError
 	if errors.As(err, &re) {
@@ -243,14 +372,39 @@ func transient(err error) bool {
 func (s *Server) runRemote(b *backend, ex *execution, ctx context.Context) (flexsnoop.Result, error) {
 	spec := ex.spec
 	spec.Version = SpecVersion
+	if !ex.deadline.IsZero() {
+		// End-to-end deadline: the worker gets only the budget that is
+		// left after this job's time in the coordinator's queue, and the
+		// coordinator stops polling the moment the deadline passes.
+		remaining := time.Until(ex.deadline)
+		if remaining <= 0 {
+			return flexsnoop.Result{}, fmt.Errorf("%w: before remote dispatch to %s", ErrExpired, b.name)
+		}
+		if spec.DeadlineMS = int64(remaining / time.Millisecond); spec.DeadlineMS < 1 {
+			spec.DeadlineMS = 1
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, ex.deadline)
+		defer cancel()
+	}
 	st, err := b.client.submitBackoff(ctx, spec)
 	if err != nil {
+		if expired := remoteExpiry(ctx, ex); expired != nil {
+			return flexsnoop.Result{}, expired
+		}
 		return flexsnoop.Result{}, err
 	}
 	switch st.State {
 	case StateQueued, StateRunning:
 		st, err = b.client.Wait(ctx, st.ID)
 		if err != nil {
+			if expired := remoteExpiry(ctx, ex); expired != nil {
+				// Release the worker's slot best-effort; the job is dead.
+				cancelCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, _ = b.client.Cancel(cancelCtx, st.ID)
+				cancel()
+				return flexsnoop.Result{}, expired
+			}
 			if ctx.Err() != nil {
 				// Our side cancelled (job cancel or drain): release the
 				// worker's slot best-effort, then report the cancellation.
@@ -269,16 +423,36 @@ func (s *Server) runRemote(b *backend, ex *execution, ctx context.Context) (flex
 		}
 		return *st.Result, nil
 	case StateCanceled:
+		if expired := remoteExpiry(ctx, ex); expired != nil {
+			return flexsnoop.Result{}, expired
+		}
 		if ctx.Err() != nil {
 			return flexsnoop.Result{}, context.Canceled
 		}
 		// The worker cancelled it (drain): not this job's fault.
 		return flexsnoop.Result{}, &transientError{fmt.Errorf("backend %s canceled the job (draining?)", b.name)}
 	default:
+		// The worker enforced the propagated deadline itself: surface it
+		// as this job's expiry, not as a backend failure.
+		if strings.Contains(st.Error, ErrExpired.Error()) {
+			return flexsnoop.Result{}, fmt.Errorf("%w: on %s: %s", ErrExpired, b.name, st.Error)
+		}
 		// A deterministic simulation failure: retrying elsewhere would
-		// reproduce it, so surface the worker's error as final.
-		return flexsnoop.Result{}, fmt.Errorf("backend %s: %s", b.name, st.Error)
+		// reproduce it identically, so surface the worker's error as
+		// final — and never as a breaker or failover signal.
+		return flexsnoop.Result{}, &permanentError{fmt.Errorf("backend %s: %s", b.name, st.Error)}
 	}
+}
+
+// remoteExpiry translates an attempt abort into the job's expiry when
+// the execution's own deadline — not a cancellation — fired: the
+// attempt context carries the deadline (WithDeadline above), and the
+// execution context stays live unless the job was cancelled or drained.
+func remoteExpiry(ctx context.Context, ex *execution) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) && ex.ctx.Err() == nil {
+		return fmt.Errorf("%w: deadline passed mid-dispatch", ErrExpired)
+	}
+	return nil
 }
 
 // prober is the coordinator's health checker: every HealthInterval it

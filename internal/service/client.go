@@ -200,11 +200,19 @@ func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (JobStatus, error
 	return c.Wait(ctx, st.ID)
 }
 
-// submitBackoff submits until the job is admitted, retrying queue-full
-// backpressure (429) with exponential backoff: the wait starts at the
-// poll interval and doubles up to one second, shortened whenever the
-// server's Retry-After promises an earlier slot. Every other error —
-// including ctx expiring mid-backoff — returns immediately.
+// maxRetryAfter caps how long a server-sent Retry-After is honored — a
+// confused (or hostile) server must not park the client for minutes.
+const maxRetryAfter = 30 * time.Second
+
+// submitBackoff submits until the job is admitted, retrying 429
+// backpressure. When the server sends Retry-After, that is the wait: the
+// server computes it from its measured drain rate, so it beats any
+// client-side guess in both directions — no hammering a deeply backed-up
+// queue, no idling in front of one about to clear (capped at
+// maxRetryAfter in case the server's estimate is wild). Without the
+// header the client falls back to exponential backoff from the poll
+// interval up to one second. Every other error — including ctx expiring
+// mid-backoff — returns immediately.
 func (c *Client) submitBackoff(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	backoff := c.poll()
 	for {
@@ -217,16 +225,19 @@ func (c *Client) submitBackoff(ctx context.Context, spec JobSpec) (JobStatus, er
 			return JobStatus{}, err
 		}
 		wait := backoff
-		if re.RetryAfter > 0 && re.RetryAfter < wait {
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		if re.RetryAfter > 0 {
 			wait = re.RetryAfter
+			if wait > maxRetryAfter {
+				wait = maxRetryAfter
+			}
 		}
 		select {
 		case <-ctx.Done():
 			return JobStatus{}, ctx.Err()
 		case <-time.After(wait):
-		}
-		if backoff < time.Second {
-			backoff *= 2
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the server's HTTP API:
@@ -76,6 +78,22 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// retryAfterHeader renders a 429's Retry-After: the server's honest
+// estimate when the error carries one (overloadError), in whole seconds
+// rounded up (the header's resolution), with "1" as the floor and the
+// pre-overload fallback.
+func retryAfterHeader(err error) string {
+	var oe *overloadError
+	if errors.As(err, &oe) && oe.retryAfter > 0 {
+		secs := int(math.Ceil(oe.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		return strconv.Itoa(secs)
+	}
+	return "1"
+}
+
 // decodeBody decodes a JSON request body into v with the request-size
 // cap applied and unknown fields rejected. The status code distinguishes
 // an oversized body (413) from a malformed one (400).
@@ -103,8 +121,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Submit(spec)
 	switch {
 	case err == nil:
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", retryAfterHeader(err))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):

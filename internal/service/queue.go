@@ -1,6 +1,9 @@
 package service
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+)
 
 // jobQueue is a bounded priority queue of pending executions: higher
 // Priority first, FIFO within a priority level (ordered by admission
@@ -25,6 +28,7 @@ func (q *jobQueue) Push(ex *execution) bool {
 	if len(q.items) >= q.capacity {
 		return false
 	}
+	ex.enqueuedAt = time.Now()
 	heap.Push(&q.items, ex)
 	return true
 }
@@ -35,7 +39,61 @@ func (q *jobQueue) Push(ex *execution) bool {
 // It keeps its original admission sequence, so it sorts ahead of
 // everything submitted after it.
 func (q *jobQueue) Requeue(ex *execution) {
+	ex.enqueuedAt = time.Now()
 	heap.Push(&q.items, ex)
+}
+
+// OldestEnqueue returns the earliest enqueue time of any queued
+// execution — the queue's head-of-line sojourn anchor — or the zero time
+// when the queue is empty. O(n) over a bounded queue.
+func (q *jobQueue) OldestEnqueue() time.Time {
+	var oldest time.Time
+	for _, ex := range q.items {
+		if oldest.IsZero() || ex.enqueuedAt.Before(oldest) {
+			oldest = ex.enqueuedAt
+		}
+	}
+	return oldest
+}
+
+// ShedLowest removes and returns the execution overload shedding should
+// drop first: the lowest priority, and within that the most recently
+// admitted (tail drop — the oldest job of a class has waited longest and
+// is closest to dispatch). High-priority (positive-priority) work is
+// never shed: once only positive-priority jobs remain, aging stops and
+// the daemon degrades into a high-priority-only service instead of a
+// uniformly lossy one. Nil when the queue is empty or all-high-priority.
+func (q *jobQueue) ShedLowest() *execution {
+	var victim *execution
+	for _, ex := range q.items {
+		if ex.priority > 0 {
+			continue
+		}
+		if victim == nil || ex.priority < victim.priority ||
+			(ex.priority == victim.priority && ex.seq > victim.seq) {
+			victim = ex
+		}
+	}
+	if victim != nil {
+		heap.Remove(&q.items, victim.queueIndex)
+	}
+	return victim
+}
+
+// TakeExpired removes and returns every queued execution whose deadline
+// has already passed: work whose caller has given up must never consume
+// a worker slot.
+func (q *jobQueue) TakeExpired(now time.Time) []*execution {
+	var expired []*execution
+	for _, ex := range q.items {
+		if !ex.deadline.IsZero() && !now.Before(ex.deadline) {
+			expired = append(expired, ex)
+		}
+	}
+	for _, ex := range expired {
+		heap.Remove(&q.items, ex.queueIndex)
+	}
+	return expired
 }
 
 // Pop removes and returns the highest-priority execution, or nil.

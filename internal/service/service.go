@@ -95,6 +95,38 @@ type Config struct {
 	// backends (default 20ms).
 	RemotePoll time.Duration
 
+	// SojournTarget enables CoDel-style queue aging: when the oldest
+	// queued job's sojourn stays above this target for a full target
+	// interval, one low-priority execution is shed (failed with a
+	// shed error) per interval until sojourn recovers. Zero disables
+	// aging (the queue only sheds by rejecting new work).
+	SojournTarget time.Duration
+	// BrownoutSojourn enables brownout mode: when queue sojourn exceeds
+	// it, hedged dispatch is suspended and optional work (negative
+	// priority) is shed at admission, until sojourn falls below half the
+	// threshold. Zero disables brownout.
+	BrownoutSojourn time.Duration
+	// RateLimit enables per-client admission control: each distinct
+	// JobSpec.ClientID may be admitted at most this many jobs per second
+	// (token bucket, burst RateBurst). Submissions without a client_id
+	// are not limited. Zero disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket burst for RateLimit (default:
+	// ceil(RateLimit), at least 1).
+	RateBurst int
+	// BreakerFailures enables per-backend circuit breakers: this many
+	// consecutive failed dispatches open a remote backend's breaker for
+	// BreakerCooldown, after which a single half-open probe dispatch
+	// decides between closing it and re-opening it. Zero disables
+	// breakers (the pre-breaker binary healthy flag governs alone).
+	BreakerFailures int
+	// BreakerCooldown is the open → half-open wait (default 5s).
+	BreakerCooldown time.Duration
+	// BreakerLatency, when set, counts a successful dispatch slower than
+	// this as a breaker failure: a backend that answers, but too late to
+	// be useful, is quarantined like one that does not answer.
+	BreakerLatency time.Duration
+
 	// HedgeDelay enables hedged dispatch on a coordinator: an execution
 	// still running on one backend this long after dispatch is
 	// speculatively re-dispatched to a second healthy backend. The first
@@ -163,7 +195,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 1 << 20
 	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = int(c.RateLimit)
+		if float64(c.RateBurst) < c.RateLimit {
+			c.RateBurst++
+		}
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.BreakerFailures > 0 && c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
+}
+
+// overloadConfigured reports whether any opt-in overload feature needs
+// the maintenance goroutine from startup (deadline jobs start it lazily).
+func (c Config) overloadConfigured() bool {
+	return c.SojournTarget > 0 || c.BrownoutSojourn > 0 || c.BreakerFailures > 0
 }
 
 // execution is one actual simulation: the unit the queue, the worker
@@ -178,7 +228,13 @@ type execution struct {
 
 	priority   int
 	seq        uint64
-	queueIndex int // heap index; -1 when not queued
+	queueIndex int       // heap index; -1 when not queued
+	enqueuedAt time.Time // last (re)admission to the queue, for sojourn aging
+	// deadline is the end-to-end completion deadline (zero = none): past
+	// it the job is shed from the queue, never started by a worker, and
+	// interrupted if running. Identical submissions deduped onto this
+	// execution extend it (a job with no deadline clears it).
+	deadline time.Time
 
 	state    string
 	jobs     []*job
@@ -268,6 +324,18 @@ type Server struct {
 	seq      uint64
 	busy     int // local in-flight simulations (BusyWorkers)
 
+	// Overload-resilience state (admission.go). limiter holds the
+	// per-client token buckets; drainPerSec is the EWMA of executions
+	// leaving the system, from which Retry-After promises are computed;
+	// aboveSince tracks how long queue sojourn has exceeded the CoDel
+	// target; brownout suspends hedging and optional work.
+	limiter     map[string]*tokenBucket
+	lastDrain   time.Time
+	drainPerSec float64
+	aboveSince  time.Time
+	brownout    bool
+	maintOn     bool // the maintenance goroutine is running
+
 	// hedgeCancels tracks the private context of every in-flight hedge
 	// attempt, so cancellation and drain reach hedges whose execution has
 	// already settled.
@@ -280,6 +348,8 @@ type Server struct {
 
 	// Cumulative counters (reported by /statsz).
 	submitted, rejected, deduped       uint64
+	rateLimited, jobsExpired, jobsShed uint64
+	brownouts                          uint64
 	runsCompleted, runsFailed          uint64
 	runsCanceled, failovers            uint64
 	hedges, hedgeWins, hedgeMismatches uint64
@@ -355,6 +425,11 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.prober()
 	}
+	if s.cfg.overloadConfigured() {
+		s.mu.Lock()
+		s.ensureMaintLocked()
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -366,14 +441,20 @@ func (s *Server) logf(format string, args ...any) {
 
 // Submit validates a spec and admits it: served from cache, attached to
 // an identical in-flight execution, or queued. Errors are either
-// validation failures (wrap the flexsnoop sentinels), ErrQueueFull or
-// ErrDraining.
+// validation failures (wrap the flexsnoop sentinels), backpressure
+// (ErrQueueFull or ErrRateLimited, carrying an honest Retry-After hint)
+// or ErrDraining.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	fj, err := spec.Job()
 	if err != nil {
 		return JobStatus{}, err
 	}
 	fp := fj.Fingerprint()
+	now := time.Now()
+	var deadline time.Time
+	if spec.DeadlineMS > 0 {
+		deadline = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -381,6 +462,18 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, ErrDraining
 	}
 	s.submitted++
+
+	// Per-client admission control precedes everything else: a client
+	// over its budget is told exactly when its next token arrives.
+	if s.cfg.RateLimit > 0 && spec.ClientID != "" {
+		if wait := s.takeTokenLocked(spec.ClientID, now); wait > 0 {
+			s.rateLimited++
+			return JobStatus{}, &overloadError{
+				err:        fmt.Errorf("%w: client %q over %g jobs/s", ErrRateLimited, spec.ClientID, s.cfg.RateLimit),
+				retryAfter: wait,
+			}
+		}
+	}
 
 	// Content-addressed cache: a completed identical run answers
 	// immediately, without a queue slot. Journaled with the spec so a
@@ -411,8 +504,30 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		ex.jobs = append(ex.jobs, j)
 		ex.live++
 		s.deduped++
+		// A deduped submission extends a queued execution's deadline to the
+		// most generous of its attached jobs; one without a deadline clears
+		// it. A running execution keeps its budget — its context deadline is
+		// already armed.
+		if ex.state == StateQueued {
+			if deadline.IsZero() {
+				ex.deadline = time.Time{}
+			} else if !ex.deadline.IsZero() && deadline.After(ex.deadline) {
+				ex.deadline = deadline
+			}
+		}
 		s.logf("job %s %s deduped onto %s", j.id, ex.label, shortFP(fp))
 		return j.statusLocked(), nil
+	}
+
+	// Brownout sheds optional work at admission: capacity spent on
+	// negative-priority jobs now would push required work past its
+	// deadlines.
+	if s.brownout && spec.Priority < 0 {
+		s.rejected++
+		return JobStatus{}, &overloadError{
+			err:        fmt.Errorf("%w: brownout sheds optional (negative-priority) work", ErrQueueFull),
+			retryAfter: s.retryAfterLocked(),
+		}
 	}
 
 	// Backpressure precedes the journal append: once a submitted record
@@ -420,7 +535,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	// job the client was told to retry.
 	if s.queue.Len() >= s.cfg.QueueCapacity {
 		s.rejected++
-		return JobStatus{}, ErrQueueFull
+		return JobStatus{}, &overloadError{err: ErrQueueFull, retryAfter: s.retryAfterLocked()}
 	}
 	if err := s.walSubmitLocked(spec, fp); err != nil {
 		return JobStatus{}, err
@@ -436,6 +551,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		interval: interval,
 		priority: spec.Priority,
 		seq:      s.seq + 1, // the admission sequence of the job minted below
+		deadline: deadline,
 		state:    StateQueued,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -445,12 +561,17 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if !s.queue.Push(ex) {
 		cancel()
 		s.rejected++
-		return JobStatus{}, ErrQueueFull
+		return JobStatus{}, &overloadError{err: ErrQueueFull, retryAfter: s.retryAfterLocked()}
 	}
 	j := s.newJobLocked(fp, ex)
 	ex.jobs = []*job{j}
 	ex.live = 1
 	s.execs[fp] = ex
+	if !deadline.IsZero() {
+		// The maintenance goroutine is what sheds this job if its budget
+		// runs out in the queue.
+		s.ensureMaintLocked()
+	}
 	s.cond.Signal()
 	s.logf("job %s %s queued (%s, priority %d)", j.id, ex.label, shortFP(fp), spec.Priority)
 	return j.statusLocked(), nil
@@ -557,6 +678,14 @@ func (s *Server) dispatcher() {
 			s.finalizeLocked(ex, flexsnoop.Result{}, context.Canceled)
 			continue
 		}
+		// Pop-time expiry check: between maintenance scans a deadline can
+		// pass; a worker must never start a job its caller has given up on.
+		if now := time.Now(); !ex.deadline.IsZero() && !now.Before(ex.deadline) {
+			s.finalizeLocked(ex, flexsnoop.Result{}, fmt.Errorf(
+				"%w: expired at dispatch after %s queued", ErrExpired,
+				now.Sub(ex.enqueuedAt).Round(time.Millisecond)))
+			continue
+		}
 		b := s.pickLocked()
 		s.dispatchLocked(b, ex, ex.ctx, false)
 		if s.cfg.HedgeDelay > 0 && s.cfg.federated() {
@@ -570,6 +699,14 @@ func (s *Server) dispatcher() {
 // spawns its run goroutine. The primary attempt runs under the
 // execution's own context; a hedge brings its private one.
 func (s *Server) dispatchLocked(b *backend, ex *execution, ctx context.Context, hedge bool) {
+	// An open breaker whose cooldown has elapsed admits exactly one probe
+	// dispatch (half-open); its outcome decides between closing the
+	// breaker and re-opening it (backendObserveLocked).
+	if s.cfg.BreakerFailures > 0 && b.client != nil && b.breaker == breakerOpen {
+		b.breaker = breakerHalfOpen
+		b.halfOpenProbe = true
+		s.logf("backend %s breaker half-open: probing with %s", b.name, ex.label)
+	}
 	b.inflight++
 	b.dispatched++
 	if b.client == nil {
@@ -611,6 +748,9 @@ func (s *Server) hedgeTimer(primary *backend, ex *execution) {
 	if ex.state != StateRunning || ex.hedged || s.draining || ex.ctx.Err() != nil {
 		return
 	}
+	if s.brownout {
+		return // brownout: speculative re-execution is the first luxury cut
+	}
 	b := s.pickHedgeLocked(primary)
 	if b == nil {
 		return // no second healthy backend with a free slot
@@ -636,13 +776,22 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 	defer s.wg.Done()
 	s.logf("job run %s on %s (%s)", ex.label, b.name, shortFP(ex.fp))
 
+	started := time.Now()
 	var res flexsnoop.Result
 	var err error
-	if b.client == nil {
+	ran := true
+	switch {
+	case !ex.deadline.IsZero() && !started.Before(ex.deadline):
+		// Last line of defence for "a worker never starts an expired job":
+		// the budget ran out between dispatch and here.
+		err = fmt.Errorf("%w: expired before starting on %s", ErrExpired, b.name)
+		ran = false
+	case b.client == nil:
 		res, err = s.runExecution(ctx, ex)
-	} else {
+	default:
 		res, err = s.runRemote(b, ex, ctx)
 	}
+	latency := time.Since(started)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -650,6 +799,11 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 	ex.running--
 	if b.client == nil {
 		s.busy--
+	}
+	if ran {
+		// Feed the breaker before anything decides on failover: eligibility
+		// for the retry below must see this attempt's outcome.
+		s.backendObserveLocked(b, err, latency)
 	}
 	defer s.cond.Broadcast() // a slot freed (or a requeue): wake the dispatcher
 	if hedge {
@@ -681,9 +835,10 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 
 	// A hedge that failed does not touch the execution: the primary
 	// attempt is still in flight. Backend-side failures still mark the
-	// backend unhealthy so the prober re-examines it.
+	// backend unhealthy so the prober re-examines it (with breakers on,
+	// backendObserveLocked above already recorded the failure instead).
 	if hedge && err != nil {
-		if b.client != nil && transient(err) {
+		if b.client != nil && transient(err) && s.cfg.BreakerFailures <= 0 {
 			b.healthy = false
 			b.lastErr = err.Error()
 		}
@@ -697,8 +852,13 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 	// the job itself is still wanted does not fail the job — it goes back
 	// to the queue for another backend (bounded).
 	if b.client != nil && err != nil && transient(err) && ex.ctx.Err() == nil && !s.draining {
-		b.healthy = false // the prober re-admits it once /readyz answers again
-		b.lastErr = err.Error()
+		if s.cfg.BreakerFailures <= 0 {
+			// Pre-breaker behavior: one failure quarantines the backend
+			// until the prober re-admits it. With breakers on, the breaker
+			// state machine (fed above) decides instead.
+			b.healthy = false
+			b.lastErr = err.Error()
+		}
 		b.failovers++
 		s.failovers++
 		ex.attempts++
@@ -706,7 +866,7 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 		// Retry on another backend — unless the retries are spent, or no
 		// healthy backend is left to retry on (failing fast beats parking
 		// the job until an operator notices the whole fleet is down).
-		if ex.attempts <= s.cfg.DispatchRetries && s.anyHealthyLocked() {
+		if ex.attempts <= s.cfg.DispatchRetries && s.anyAvailableLocked() {
 			ex.state = StateQueued
 			s.queue.Requeue(ex)
 			s.logf("job %s failing over from %s (attempt %d/%d): %v",
@@ -718,7 +878,9 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 	}
 	if err == nil {
 		b.completed++
-	} else if !errors.Is(err, context.Canceled) {
+	} else if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrExpired) {
+		// Expired work is the caller's budget running out, not the
+		// backend failing; it does not count against the backend.
 		b.failed++
 		b.lastErr = err.Error()
 	}
@@ -729,6 +891,13 @@ func (s *Server) runOn(b *backend, ex *execution, ctx context.Context, hedge boo
 // for pprof so a CPU profile of the daemon attributes time per job, and
 // with the streaming telemetry tap installed.
 func (s *Server) runExecution(ctx context.Context, ex *execution) (res flexsnoop.Result, err error) {
+	if !ex.deadline.IsZero() {
+		// The end-to-end deadline bounds the run itself: RunJobContext
+		// stops between simulated events, so expiry interrupts promptly.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, ex.deadline)
+		defer cancel()
+	}
 	opts := ex.job.Options
 	opts.Telemetry = &flexsnoop.TelemetryOptions{
 		OnRow:          ex.hub.publish,
@@ -749,6 +918,7 @@ func (s *Server) runExecution(ctx context.Context, ex *execution) (res flexsnoop
 func (s *Server) finalizeLocked(ex *execution, res flexsnoop.Result, err error) {
 	delete(s.execs, ex.fp)
 	s.queue.Remove(ex) // no-op unless a hedge settled it while still queued for failover
+	s.observeDrainLocked(time.Now())
 	switch {
 	case err == nil:
 		ex.state = StateDone
@@ -780,6 +950,33 @@ func (s *Server) finalizeLocked(ex *execution, res flexsnoop.Result, err error) 
 		ex.err = err
 		s.runsCanceled++
 		s.logf("job canceled %s", ex.label)
+	case errors.Is(err, ErrExpired), errors.Is(err, errShed),
+		errors.Is(err, context.DeadlineExceeded):
+		// Deadline expiry and overload shedding fail the job for its
+		// caller, but are journaled as cancellations, not as a
+		// deterministic failure: replay must not poison the fingerprint —
+		// the same spec resubmitted under normal load is expected to run.
+		ex.state = StateFailed
+		if !errors.Is(err, ErrExpired) && !errors.Is(err, errShed) {
+			err = fmt.Errorf("%w: %v", ErrExpired, err)
+		}
+		ex.err = err
+		for _, j := range ex.jobs {
+			if j.canceled {
+				continue
+			}
+			if werr := s.walAppendLocked(journal.Record{
+				Kind: journal.KindCancelled, JobID: j.id, Seq: j.seq, Fingerprint: j.fp,
+			}); werr != nil {
+				s.logf("wal: %v (shedding of %s not journaled)", werr, j.id)
+			}
+		}
+		if errors.Is(err, errShed) {
+			s.jobsShed++
+		} else {
+			s.jobsExpired++
+		}
+		s.logf("job shed %s: %v", ex.label, err)
 	default:
 		ex.state = StateFailed
 		ex.err = err
@@ -915,6 +1112,21 @@ type Stats struct {
 	JobsDeduped   uint64         `json:"jobs_deduped"`
 	JobStates     map[string]int `json:"job_states"`
 
+	// Overload resilience (DESIGN.md §12). QueueOldestAgeSeconds is the
+	// head-of-line sojourn — the age of the oldest queued job — the signal
+	// aging and brownout act on. JobsExpired counts jobs shed (queued) or
+	// interrupted (running) past their deadline; JobsShed counts CoDel
+	// sojourn sheds; JobsRateLimited counts 429s from per-client admission
+	// control. Goroutines is runtime.NumGoroutine, for leak checks under
+	// flood.
+	QueueOldestAgeSeconds float64 `json:"queue_oldest_age_seconds"`
+	JobsExpired           uint64  `json:"jobs_expired,omitempty"`
+	JobsShed              uint64  `json:"jobs_shed,omitempty"`
+	JobsRateLimited       uint64  `json:"jobs_rate_limited,omitempty"`
+	Brownouts             uint64  `json:"brownouts,omitempty"`
+	BrownoutActive        bool    `json:"brownout_active,omitempty"`
+	Goroutines            int     `json:"goroutines"`
+
 	CacheEntries  int     `json:"cache_entries"`
 	CacheCapacity int     `json:"cache_capacity"`
 	CacheHits     uint64  `json:"cache_hits"`
@@ -992,6 +1204,16 @@ func (s *Server) Stats() Stats {
 		FaultStalls:    s.faultStalls,
 		SnoopTimeouts:  s.snoopTimeouts,
 		DegradedLines:  s.degradedLines,
+
+		JobsExpired:     s.jobsExpired,
+		JobsShed:        s.jobsShed,
+		JobsRateLimited: s.rateLimited,
+		Brownouts:       s.brownouts,
+		BrownoutActive:  s.brownout,
+		Goroutines:      runtime.NumGoroutine(),
+	}
+	if oldest := s.queue.OldestEnqueue(); !oldest.IsZero() {
+		st.QueueOldestAgeSeconds = time.Since(oldest).Seconds()
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
@@ -1002,7 +1224,7 @@ func (s *Server) Stats() Stats {
 	if s.cfg.federated() {
 		st.Failovers = s.failovers
 		for _, b := range s.backends {
-			st.Backends = append(st.Backends, b.statsLocked())
+			st.Backends = append(st.Backends, b.statsLocked(s.cfg.BreakerFailures > 0))
 		}
 		st.Hedges = s.hedges
 		st.HedgeWins = s.hedgeWins

@@ -14,7 +14,13 @@ import (
 // Servers accept every version up to their own and reject newer ones
 // with ErrSpecVersion (HTTP 400), so an old coordinator never silently
 // misinterprets a spec from a newer client.
-const SpecVersion = 1
+//
+// Version 2 added deadline_ms and client_id. They are zero-default
+// additive fields, but a v1 server that ran a job whose caller declared
+// it dead — or admitted work a client had rate-budgeted — would violate
+// the submitter's intent rather than merely ignore an optimisation, so
+// the version was bumped (DESIGN.md §12).
+const SpecVersion = 2
 
 // ErrSpecVersion: the spec declares a wire version this server does not
 // speak (HTTP 400).
@@ -34,8 +40,24 @@ type JobSpec struct {
 	Algorithm string `json:"algorithm"`
 	Workload  string `json:"workload"`
 	// Priority orders the queue: higher runs sooner (default 0). Jobs of
-	// equal priority run in submission order.
+	// equal priority run in submission order. Under brownout (see
+	// Config.BrownoutSojourn) negative-priority jobs are treated as
+	// optional and shed first.
 	Priority int `json:"priority,omitempty"`
+
+	// DeadlineMS is the end-to-end deadline in milliseconds from
+	// admission: past it the server sheds the job from the queue (before
+	// it ever reaches a worker) or interrupts the running simulation.
+	// Zero means no deadline. A coordinator rewrites the field to the
+	// remaining budget when it re-dispatches the job to a worker, so the
+	// deadline is end-to-end across the fleet. Like IntervalCycles it is
+	// result-neutral and excluded from the fingerprint: it changes
+	// whether a job runs, never what it computes.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// ClientID optionally names the submitting client for per-client
+	// admission control (Config.RateLimit). Empty opts out. Excluded
+	// from the fingerprint.
+	ClientID string `json:"client_id,omitempty"`
 
 	Options SpecOptions `json:"options"`
 }
@@ -75,6 +97,14 @@ func (s JobSpec) Job() (flexsnoop.Job, error) {
 	if s.Version < 0 || s.Version > SpecVersion {
 		return flexsnoop.Job{}, fmt.Errorf("%w: %d (this server speaks versions 1..%d)",
 			ErrSpecVersion, s.Version, SpecVersion)
+	}
+	if s.DeadlineMS < 0 {
+		return flexsnoop.Job{}, fmt.Errorf("%w: negative deadline_ms %d",
+			flexsnoop.ErrBadConfig, s.DeadlineMS)
+	}
+	if len(s.ClientID) > 256 {
+		return flexsnoop.Job{}, fmt.Errorf("%w: client_id longer than 256 bytes",
+			flexsnoop.ErrBadConfig)
 	}
 	alg, err := flexsnoop.ParseAlgorithm(s.Algorithm)
 	if err != nil {
@@ -139,7 +169,9 @@ func (s JobSpec) Job() (flexsnoop.Job, error) {
 // triple — the inverse of JobSpec.Job, used by remote drivers such as
 // `sweep -remote`. It fails for options the wire shape cannot express: a
 // Tweak hook, a Telemetry config, or a predictor override that is not a
-// named preset.
+// named preset. Transport attributes that are not part of the
+// result-defining triple — Priority, DeadlineMS, ClientID — are left
+// zero; callers set them on the returned spec.
 func SpecFor(alg flexsnoop.Algorithm, workload string, o flexsnoop.Options) (JobSpec, error) {
 	if o.Tweak != nil {
 		return JobSpec{}, fmt.Errorf("%w: Options.Tweak cannot be submitted remotely",

@@ -36,11 +36,20 @@ func FuzzSpecRoundTrip(f *testing.F) {
 		// IntervalCycles is result-neutral: dropped by SpecFor, must not
 		// perturb the fingerprint.
 		`{"algorithm":"Subset","workload":"fft","options":{"interval_cycles":250}}`,
+		// Version-2 transport attributes (deadline_ms, client_id) are
+		// result-neutral too: dropped by SpecFor, excluded from the
+		// fingerprint (the round-trip assertion below enforces both).
+		`{"version":2,"algorithm":"Subset","workload":"fft","deadline_ms":1500}`,
+		`{"version":2,"algorithm":"Lazy","workload":"barnes","client_id":"sweep-7",` +
+			`"options":{"ops_per_core":500}}`,
+		`{"version":2,"algorithm":"Eager","workload":"fft","priority":-1,` +
+			`"deadline_ms":86400000,"client_id":"batch","options":{"seed":9}}`,
 		// Rejected shapes, as skip-path seeds: future version, unknown
-		// names, retries without a plan.
+		// names, retries without a plan, negative deadline.
 		`{"version":99,"algorithm":"Subset","workload":"fft"}`,
 		`{"algorithm":"Bogus","workload":"fft"}`,
 		`{"algorithm":"Subset","workload":"fft","options":{"fault_max_retries":3}}`,
+		`{"version":2,"algorithm":"Subset","workload":"fft","deadline_ms":-1}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

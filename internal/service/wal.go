@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"flexsnoop/internal/journal"
 )
@@ -236,6 +237,13 @@ func (s *Server) requeueReplayedLocked(requeued map[string]*execution, rj *repla
 		cancel:   cancel,
 		hub:      newMetricsHub(),
 		done:     make(chan struct{}),
+	}
+	if spec.DeadlineMS > 0 {
+		// The original admission time did not survive the crash, so the
+		// deadline window restarts at replay: generous to the job, and
+		// strictly better than resurrecting it pre-expired.
+		ex.deadline = time.Now().Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+		s.ensureMaintLocked()
 	}
 	s.queue.Requeue(ex)
 	s.execs[rj.fp] = ex
